@@ -1,0 +1,41 @@
+# Convenience targets for the reproduction. Stdlib-only; no network needed.
+
+GO ?= go
+
+.PHONY: all build test race cover bench report tables examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/ ./internal/analysis/
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the full experiment report (EXPERIMENTS.md's backing artifact).
+report:
+	$(GO) run ./cmd/nbreport > report.md
+
+tables:
+	$(GO) run ./cmd/nbtables -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/clusterdesign
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/simulation
+	$(GO) run ./examples/collectives
+
+clean:
+	rm -f cover.out report.md test_output.txt bench_output.txt

@@ -1,0 +1,32 @@
+package fclos_test
+
+import (
+	"math/rand"
+	"testing"
+
+	fclos "repro"
+)
+
+// BenchmarkSimLargePermutation times one closed-loop simulation of a full
+// random permutation on the largest Table-I network, ftree(6+36, 42):
+// 252 hosts, 252 flows × 16 packets.
+func BenchmarkSimLargePermutation(b *testing.B) {
+	f := fclos.NewNonblockingFtree(6, 42)
+	r, err := fclos.NewPaperDeterministic(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	p := fclos.RandomPermutation(rng, f.Ports())
+	cfg := fclos.SimConfig{PacketFlits: 4, PacketsPerPair: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := fclos.SimulatePermutation(f.Net, r, p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Delivered != res.TotalPackets {
+			b.Fatal("packets lost")
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Command nbreport runs the full experiment suite and writes a
+// self-contained Markdown report — the reproducibility artifact backing
+// EXPERIMENTS.md. Every number in the report is regenerated on the spot
+// with the given seed.
+//
+// Usage:
+//
+//	nbreport                      # report to stdout
+//	nbreport -seed 7 -trials 200  # heavier statistical sections
+//	nbreport -fast                # CI-sized trial counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 100, "trials for randomized sections")
+		seed   = flag.Int64("seed", 1, "seed for randomized sections")
+		fast   = flag.Bool("fast", false, "CI-sized trial counts (overrides -trials)")
+	)
+	flag.Parse()
+	if *fast {
+		*trials = 20
+	}
+	if err := run(os.Stdout, *trials, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "nbreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, trials int, seed int64) error {
+	start := time.Now()
+	fmt.Fprintf(out, "# Reproduction report — Nonblocking Folded-Clos Networks (IPPS 2011)\n\n")
+	fmt.Fprintf(out, "seed %d, %d trials per randomized section\n\n", seed, trials)
+
+	section := func(title string) {
+		fmt.Fprintf(out, "## %s\n\n```\n", title)
+	}
+	endSection := func() { fmt.Fprint(out, "```\n\n") }
+
+	section("T1 — Table I")
+	experiments.TableI().Render(out)
+	endSection()
+
+	section("E1 — Theorems 2 & 3 (exact verification + tightness)")
+	t3, err := experiments.Theorem3([][2]int{{2, 5}, {2, 8}, {3, 7}, {4, 9}})
+	if err != nil {
+		return err
+	}
+	t3.Render(out)
+	endSection()
+
+	section("E2 — Lemma 2 exact maxima")
+	experiments.Lemma2([]int{1, 2, 3}, []int{2, 3, 4, 5, 6}).Render(out)
+	endSection()
+
+	section("E3 — Theorem 1 port bounds")
+	experiments.Theorem1([]int{2, 3, 4}).Render(out)
+	endSection()
+
+	section("E4 — NONBLOCKINGADAPTIVE demand scaling")
+	ad, err := experiments.Adaptive([]int{4, 6, 8, 12, 16, 24}, trials/3+1, seed)
+	if err != nil {
+		return err
+	}
+	ad.Render(out)
+	endSection()
+
+	cfg := sim.Config{PacketFlits: 4, PacketsPerPair: 8}
+
+	section("E6 — simulated permutation throughput")
+	th, err := experiments.Throughput(3, trials/2+1, seed, cfg)
+	if err != nil {
+		return err
+	}
+	th.Render(out)
+	endSection()
+
+	section("E7 — oblivious multipath (§IV.B)")
+	mp, err := experiments.Multipath(2, 8, trials, seed)
+	if err != nil {
+		return err
+	}
+	mp.Render(out)
+	endSection()
+
+	section("E8 — recursive constructions")
+	for _, n := range []int{2, 3} {
+		tl, err := experiments.ThreeLevel(n)
+		if err != nil {
+			return err
+		}
+		tl.Render(out)
+	}
+	ml, err := experiments.MultiLevel(2, []int{2, 3, 4})
+	if err != nil {
+		return err
+	}
+	ml.Render(out)
+	endSection()
+
+	section("E9 — centralized rearrangeable baseline")
+	bn, err := experiments.Benes(3, 6, trials, seed)
+	if err != nil {
+		return err
+	}
+	bn.Render(out)
+	endSection()
+
+	section("E10 — online circuit switching (§II)")
+	on, err := experiments.Online(2, 4, trials, seed)
+	if err != nil {
+		return err
+	}
+	on.Render(out)
+	endSection()
+
+	section("E11 — degraded mode")
+	ft, err := experiments.Fault(8, 64, 2, 3, seed)
+	if err != nil {
+		return err
+	}
+	ft.Render(out)
+	endSection()
+
+	section("E12 — open-loop load sweep")
+	ls, err := experiments.LoadSweepExperiment(3, 12, []float64{0.2, 0.4, 0.6, 0.8, 1.0}, seed)
+	if err != nil {
+		return err
+	}
+	ls.Render(out)
+	endSection()
+
+	section("E13 — collectives")
+	cl, err := experiments.Collectives(3, seed, cfg)
+	if err != nil {
+		return err
+	}
+	cl.Render(out)
+	endSection()
+
+	section("E14 — randomized-routing birthday model")
+	rm, err := experiments.RandomModel(2, 8, trials*2, []int{4, 8, 16, 32, 64, 128}, seed)
+	if err != nil {
+		return err
+	}
+	rm.Render(out)
+	endSection()
+
+	section("E15 — oversubscription frontier")
+	ov, err := experiments.Oversub(4, 12, trials/2+1, seed, sim.Config{PacketFlits: 2, PacketsPerPair: 4})
+	if err != nil {
+		return err
+	}
+	ov.Render(out)
+	endSection()
+
+	section("E16 — in-network per-packet adaptivity")
+	in, err := experiments.InNetworkAdaptive(3, 12, trials/4+1, seed, cfg)
+	if err != nil {
+		return err
+	}
+	in.Render(out)
+	endSection()
+
+	section("E17 — exact worst-case link load")
+	wl, err := experiments.WorstLoad(3, 10, seed)
+	if err != nil {
+		return err
+	}
+	wl.Render(out)
+	endSection()
+
+	section("Scaling — 2- vs 3-level cost")
+	sc, err := experiments.Scaling([]int{2, 3, 4, 5, 6})
+	if err != nil {
+		return err
+	}
+	sc.Render(out)
+	endSection()
+
+	fmt.Fprintf(out, "---\ngenerated in %s by cmd/nbreport\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

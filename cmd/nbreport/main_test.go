@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReportContainsEverySection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"T1 — Table I",
+		"E1 — Theorems 2 & 3",
+		"E2 — Lemma 2",
+		"E3 — Theorem 1",
+		"E4 — NONBLOCKINGADAPTIVE",
+		"E6 — simulated permutation throughput",
+		"E7 — oblivious multipath",
+		"E8 — recursive constructions",
+		"E9 — centralized rearrangeable",
+		"E10 — online circuit switching",
+		"E11 — degraded mode",
+		"E12 — open-loop load sweep",
+		"E13 — collectives",
+		"E14 — randomized-routing birthday model",
+		"E15 — oversubscription frontier",
+		"E16 — in-network per-packet adaptivity",
+		"E17 — exact worst-case link load",
+		"Scaling — 2- vs 3-level cost",
+		"generated in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Markdown fencing is balanced.
+	if strings.Count(out, "```")%2 != 0 {
+		t.Error("unbalanced code fences")
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func simRun(t *testing.T, args ...interface{}) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(&buf,
+		args[0].(string),  // topo
+		args[1].(int),     // n
+		args[2].(int),     // m
+		args[3].(int),     // r
+		args[4].(int),     // ports
+		args[5].(int),     // levels
+		args[6].(string),  // scheme
+		args[7].(int),     // sprayWidth
+		args[8].(string),  // pattern
+		args[9].(int),     // trials
+		int64(1),          // seed
+		2,                 // flits
+		4,                 // pkts
+		args[10].(string), // arbiter
+		false,             // openloop
+	)
+	return buf.String(), err
+}
+
+func TestSimRandomPaper(t *testing.T) {
+	out, err := simRun(t, "ftree", 2, 0, 5, 20, 2, "paper", 0, "random", 3, "round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "slowdown vs crossbar") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestSimStructuredPatterns(t *testing.T) {
+	for _, pattern := range []string{"shift", "rotate"} {
+		out, err := simRun(t, "ftree", 2, 0, 5, 20, 2, "dest-mod", 0, pattern, 3, "oldest-first")
+		if err != nil {
+			t.Fatalf("%s: %v", pattern, err)
+		}
+		if !strings.Contains(out, "makespan:") {
+			t.Fatalf("%s output: %s", pattern, out)
+		}
+	}
+	// Transpose needs a square host count: ftree(2+4,8) has 16 hosts.
+	out, err := simRun(t, "ftree", 2, 0, 8, 20, 2, "paper", 0, "transpose", 3, "round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "contended links: 0") {
+		t.Fatalf("nonblocking transpose should be clean: %s", out)
+	}
+}
+
+func TestSimOtherRouters(t *testing.T) {
+	if _, err := simRun(t, "ftree", 2, 12, 4, 20, 2, "adaptive", 0, "shift", 3, "round-robin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simRun(t, "ftree", 2, 0, 5, 20, 2, "global", 0, "shift", 3, "round-robin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simRun(t, "ftree", 2, 0, 5, 20, 2, "spray", 2, "shift", 3, "round-robin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simRun(t, "ftree", 2, 0, 5, 20, 2, "spray", 0, "shift", 3, "round-robin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simRun(t, "mnt", 2, 0, 5, 6, 2, "mnt-dest-mod", 0, "shift", 3, "round-robin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simRun(t, "mnt", 2, 0, 5, 6, 2, "mnt-random", 0, "random", 2, "round-robin"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	if _, err := simRun(t, "ftree", 2, 0, 5, 20, 2, "paper", 0, "random", 3, "bogus"); err == nil {
+		t.Fatal("bad arbiter accepted")
+	}
+	if _, err := simRun(t, "torus", 2, 0, 5, 20, 2, "paper", 0, "random", 3, "round-robin"); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+	if _, err := simRun(t, "ftree", 2, 0, 5, 20, 2, "mnt-dest-mod", 0, "random", 3, "round-robin"); err == nil {
+		t.Fatal("mnt routing on ftree accepted")
+	}
+	if _, err := simRun(t, "mnt", 2, 0, 5, 6, 2, "paper", 0, "random", 3, "round-robin"); err == nil {
+		t.Fatal("ftree routing on mnt accepted")
+	}
+	if _, err := simRun(t, "ftree", 2, 0, 5, 20, 2, "paper", 0, "nosuch", 3, "round-robin"); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	if _, err := simRun(t, "ftree", 2, 0, 5, 20, 2, "paper", 0, "transpose", 3, "round-robin"); err == nil {
+		t.Fatal("non-square transpose accepted")
+	}
+	if _, err := simRun(t, "mnt", 2, 0, 5, 6, 2, "mnt-dest-mod", 0, "rotate", 3, "round-robin"); err == nil {
+		t.Fatal("rotate on mnt accepted")
+	}
+	if _, err := simRun(t, "ftree", 2, 3, 5, 20, 2, "paper", 0, "random", 3, "round-robin"); err == nil {
+		t.Fatal("paper with m<n² accepted")
+	}
+}

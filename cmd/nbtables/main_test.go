@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunNothingSelected(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(false, false, false, false, false, false, false, false, false, false,
+		false, false, false, false, false, false, false, false, false, false, 10, 1, 2, &buf)
+	if err == nil {
+		t.Fatal("expected error when nothing selected")
+	}
+}
+
+func TestRunSelectedSections(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(false, true /*table1*/, true /*theorem3*/, false, true /*theorem1*/, false, false,
+		false, false, false, false, false, false, false, false, false, false, false, false, true /*scaling*/, 5, 1, 2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"T1: Table I",
+		"E1: Theorem 3",
+		"E3: Theorem 1",
+		"Discussion: 2-level vs 3-level scaling",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing section %q", want)
+		}
+	}
+	if strings.Contains(out, "E4:") {
+		t.Error("unselected section rendered")
+	}
+}
+
+func TestRunFastExperiments(t *testing.T) {
+	// Exercise the cheap randomized sections with tiny trial counts.
+	var buf bytes.Buffer
+	err := run(false, false, false, true /*lemma2*/, false, false, false,
+		true /*multipath*/, false, true /*benes*/, true /*online*/, false, false, false, false, false, false, false, false, false,
+		5, 1, 2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E2: Lemma 2", "E7:", "E9:", "E10:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing section %q", want)
+		}
+	}
+}

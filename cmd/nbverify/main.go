@@ -1,0 +1,153 @@
+// Command nbverify decides whether a folded-Clos network is nonblocking in
+// the computer-communication sense (Definition 2 of the paper) under a
+// chosen routing scheme.
+//
+// For single-path deterministic routers the decision is exact via the
+// Lemma-1 all-pairs analysis; for adaptive routers it runs an exhaustive
+// sweep on tiny networks and a seeded randomized+structured sweep
+// otherwise. When the answer is "blocking" it prints a concrete blocked
+// permutation.
+//
+// Usage:
+//
+//	nbverify -n 4 -m 16 -r 20 -routing paper        # exact: nonblocking
+//	nbverify -n 4 -m 15 -r 20 -routing paper-folded # exact: blocking + witness
+//	nbverify -n 2 -m 12 -r 4 -routing adaptive      # sweep
+//	nbverify -n 4 -m 16 -r 20 -routing dest-mod     # exact: blocking
+//	nbverify -n 4 -m 4  -r 20 -routing global       # centralized baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 4, "hosts per bottom switch")
+		m       = flag.Int("m", 16, "top-level switches")
+		r       = flag.Int("r", 20, "bottom-level switches")
+		scheme  = flag.String("routing", "paper", "paper | paper-folded | dest-mod | source-mod | dest-switch-mod | random-fixed | adaptive | greedy-local | global")
+		trials  = flag.Int("trials", 500, "random permutations for sweep-based verification")
+		seed    = flag.Int64("seed", 1, "sweep seed")
+		maxExh  = flag.Int("max-exhaustive", 8, "use exhaustive sweep up to this many hosts")
+		verbose = flag.Bool("v", false, "print per-link detail for violations")
+		pattern = flag.String("pattern", "", `check one explicit pattern, e.g. "0->4 2->5", instead of deciding nonblocking`)
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *n, *m, *r, *scheme, *trials, *seed, *maxExh, *verbose, *pattern); err != nil {
+		fmt.Fprintln(os.Stderr, "nbverify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, n, m, r int, scheme string, trials int, seed int64, maxExh int, verbose bool, pattern string) error {
+	f := topology.NewFoldedClos(n, m, r)
+	fmt.Fprintf(out, "network: %s (%d hosts, %d switches)\n", f.Net.Name, f.Ports(), f.Switches())
+
+	var router routing.Router
+	switch scheme {
+	case "paper":
+		pr, err := routing.NewPaperDeterministic(f)
+		if err != nil {
+			return err
+		}
+		router = pr
+	case "paper-folded":
+		router = routing.NewPaperDeterministicFolded(f)
+	case "dest-mod":
+		router = routing.NewDestMod(f)
+	case "source-mod":
+		router = routing.NewSourceMod(f)
+	case "dest-switch-mod":
+		router = routing.NewDestSwitchMod(f)
+	case "random-fixed":
+		router = routing.NewRandomFixed(f, seed)
+	case "adaptive":
+		ad, err := routing.NewNonblockingAdaptive(f)
+		if err != nil {
+			return err
+		}
+		router = ad
+	case "greedy-local":
+		router = routing.NewGreedyLocal(f)
+	case "global":
+		router = routing.NewGlobalRearrangeable(f)
+	default:
+		return fmt.Errorf("unknown routing %q", scheme)
+	}
+	fmt.Fprintf(out, "routing: %s\n", router.Name())
+
+	if pattern != "" {
+		p, err := permutation.Parse(f.Ports(), pattern)
+		if err != nil {
+			return err
+		}
+		a, err := router.Route(p)
+		if err != nil {
+			return err
+		}
+		rep := analysis.Check(a)
+		if rep.HasContention() {
+			fmt.Fprintf(out, "pattern %s: CONTENTION — %v\n", p, rep.ContentionError())
+		} else {
+			fmt.Fprintf(out, "pattern %s: contention-free (max link load %d)\n", p, rep.MaxLoad)
+		}
+		return nil
+	}
+
+	if pr, ok := router.(routing.PairRouter); ok {
+		res, err := analysis.CheckLemma1AllPairs(pr, f.Ports())
+		if err != nil {
+			return err
+		}
+		if res.Nonblocking {
+			fmt.Fprintln(out, "verdict: NONBLOCKING (exact, Lemma-1 all-pairs analysis)")
+			return nil
+		}
+		fmt.Fprintln(out, "verdict: BLOCKING (exact, Lemma-1 all-pairs analysis)")
+		w, err := analysis.BlockingWitness(res, f.Ports())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "blocked permutation: %s\n", w)
+		if verbose && res.Violation != nil {
+			lk := f.Net.Link(res.Violation.Link)
+			fmt.Fprintf(out, "violated link: %s -> %s with %d sources and %d destinations\n",
+				f.Net.Node(lk.From).Label, f.Net.Node(lk.To).Label,
+				len(res.Violation.Sources), len(res.Violation.Dests))
+		}
+		return nil
+	}
+
+	if f.Ports() <= maxExh {
+		res := analysis.SweepExhaustive(router, f.Ports())
+		report(out, res, "exhaustive")
+		return res.RouteErr
+	}
+	res := analysis.SweepRandom(router, f.Ports(), trials, seed)
+	report(out, res, "randomized+structured")
+	return res.RouteErr
+}
+
+func report(out io.Writer, res *analysis.SweepResult, kind string) {
+	if res.RouteErr != nil {
+		fmt.Fprintf(out, "verdict: ROUTING FAILED during %s sweep: %v\n", kind, res.RouteErr)
+		return
+	}
+	if res.Blocked == 0 {
+		fmt.Fprintf(out, "verdict: no blocking found over %d %s patterns (max link load %d)\n",
+			res.Tested, kind, res.MaxLinkLoad)
+		return
+	}
+	fmt.Fprintf(out, "verdict: BLOCKING — %d of %d %s patterns contended\n", res.Blocked, res.Tested, kind)
+	fmt.Fprintf(out, "first blocked permutation: %s\n", res.FirstBlocked)
+}

@@ -1,0 +1,77 @@
+package fclos_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	fclos "repro"
+)
+
+// Build the Theorem-3 nonblocking network and verify it exactly.
+func ExampleNewDeterministicSystem() {
+	sys, err := fclos.NewDeterministicSystem(4, 20) // ftree(4+16,20)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := sys.Verify(0, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sys.F.Net.Name, "ports:", sys.Ports(), "nonblocking:", rep.Nonblocking)
+	// Output: ftree(4+16,20) ports: 80 nonblocking: true
+}
+
+// Decide nonblocking exactly for a static baseline and extract a witness.
+func ExampleCheckLemma1AllPairs() {
+	f := fclos.NewFoldedClos(2, 4, 5)
+	res, err := fclos.CheckLemma1AllPairs(fclos.NewDestMod(f), f.Ports())
+	if err != nil {
+		panic(err)
+	}
+	w, err := fclos.BlockingWitness(res, f.Ports())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nonblocking:", res.Nonblocking, "witness:", w)
+	// Output: nonblocking: false witness: 0->4 1->8
+}
+
+// Route a permutation with NONBLOCKINGADAPTIVE and inspect its demand.
+func ExampleNewNonblockingAdaptive() {
+	f := fclos.NewFoldedClos(4, 48, 16)
+	ad, err := fclos.NewNonblockingAdaptive(f)
+	if err != nil {
+		panic(err)
+	}
+	p := fclos.RandomPermutation(rand.New(rand.NewSource(1)), f.Ports())
+	a, err := ad.Route(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("contention:", fclos.CheckContention(a).HasContention(),
+		"configurations:", a.Configurations)
+	// Output: contention: false configurations: 1
+}
+
+// Regenerate the paper's Table I.
+func ExamplePaperTableI() {
+	for _, row := range fclos.PaperTableI() {
+		fmt.Printf("%d-port: %d switches / %d ports vs FT: %d / %d\n",
+			row.SwitchPorts,
+			row.Nonblocking.Switches, row.Nonblocking.Ports,
+			row.Rearrangeable.Switches, row.Rearrangeable.Ports)
+	}
+	// Output:
+	// 20-port: 36 switches / 80 ports vs FT: 30 / 200
+	// 30-port: 55 switches / 150 ports vs FT: 45 / 450
+	// 42-port: 78 switches / 252 ports vs FT: 63 / 882
+}
+
+// Evaluate the closed-form nonblocking conditions.
+func ExampleDeterministicMinM() {
+	n := 6
+	fmt.Println("deterministic:", fclos.DeterministicMinM(n),
+		"adaptive budget:", fclos.AdaptiveSimpleM(16, 2),
+		"rearrangeable:", fclos.ClosRearrangeableM(n))
+	// Output: deterministic: 36 adaptive budget: 192 rearrangeable: 6
+}

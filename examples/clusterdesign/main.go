@@ -1,0 +1,61 @@
+// Cluster design: the feasibility analysis the paper motivates. Given the
+// port count of the switches you can buy, enumerate the nonblocking
+// interconnects each routing class can build, their host counts and their
+// cost — then regenerate Table I and the multi-level scaling comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	fclos "repro"
+)
+
+func main() {
+	for _, radix := range []int{20, 30, 42} {
+		fmt.Printf("== switches with %d ports ==\n", radix)
+		props, err := fclos.Plan(radix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "class\tftree(n+m,r)\thosts\tswitches\tswitches/host\tcondition")
+		for _, p := range props {
+			fmt.Fprintf(tw, "%s\tftree(%d+%d,%d)\t%d\t%d\t%.3f\t%s\n",
+				p.Class, p.N, p.M, p.R, p.Ports, p.Switches, p.CostPerPort(), p.Note)
+		}
+		tw.Flush()
+		fmt.Println()
+	}
+
+	fmt.Println("== Table I (paper) ==")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "switch ports\tnonblocking sw/ports\tFT(N,2) sw/ports")
+	for _, row := range fclos.PaperTableI() {
+		fmt.Fprintf(tw, "%d\t%d/%d\t%d/%d\n", row.SwitchPorts,
+			row.Nonblocking.Switches, row.Nonblocking.Ports,
+			row.Rearrangeable.Switches, row.Rearrangeable.Ports)
+	}
+	tw.Flush()
+
+	fmt.Println()
+	fmt.Println("== growing beyond two levels (Discussion §IV.A) ==")
+	rows, err := fclos.ScalingTable([]int{4, 5, 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "N\t2-level nonblocking\t3-level nonblocking\treplace-bottom (rejected)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d sw / %d hosts\t%d sw / %d hosts\t%d sw / %d hosts\n",
+			r.N,
+			r.Nonblocking2L.Switches, r.Nonblocking2L.Ports,
+			r.Nonblocking3L.Switches, r.Nonblocking3L.Ports,
+			r.ReplaceBottomVariant.Switches, r.ReplaceBottomVariant.Ports)
+	}
+	tw.Flush()
+	fmt.Println("Theorem 1 in action: replacing bottom switches adds cost but no hosts;")
+	fmt.Println("replacing top switches (the 3-level column) scales the network.")
+}

@@ -1,0 +1,64 @@
+// Collectives: the application-level payoff of a nonblocking interconnect.
+// Classic HPC collectives (all-to-all, recursive-doubling exchanges, 2-D
+// halo exchanges, matrix transposes) decompose into sequences of
+// permutation phases. On the paper's nonblocking folded-Clos every phase
+// runs contention-free at crossbar speed; on the same network with static
+// destination-keyed routing, and on a conventional fat-tree, phases
+// serialize on shared links.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	fclos "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	const n = 3
+	f := fclos.NewNonblockingFtree(n, n+n*n) // ftree(3+9,12): 36 hosts
+	hosts := f.Ports()
+	paper, err := fclos.NewPaperDeterministic(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	destMod := fclos.NewDestMod(f)
+	cfg := fclos.SimConfig{PacketFlits: 4, PacketsPerPair: 8, Arbiter: fclos.ArbiterRoundRobin}
+
+	workloads := []*workload.Workload{
+		workload.AllToAll(hosts),
+		workload.RingExchange(hosts),
+		workload.Stencil2D(6, 6),
+		workload.TransposeWorkload(6, 6),
+		workload.RandomPhases(hosts, 8, 2011),
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "collective\tphases\tcrossbar cycles\tnonblocking (slowdown)\tdest-mod (slowdown)\tdest-mod contended phases")
+	for _, w := range workloads {
+		ref, err := workload.RunCrossbar(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nb, err := workload.Run(f.Net, paper, w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dm, err := workload.Run(f.Net, destMod, w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d (%.2fx)\t%d (%.2fx)\t%d/%d\n",
+			w.Name, len(w.Phases), ref.TotalCycles,
+			nb.TotalCycles, nb.Slowdown(ref),
+			dm.TotalCycles, dm.Slowdown(ref),
+			dm.ContendedPhases(), len(w.Phases))
+	}
+	tw.Flush()
+	fmt.Println()
+	fmt.Println("every phase of every collective is a permutation: the nonblocking network")
+	fmt.Println("(Theorem 3) runs each at crossbar speed plus fixed pipeline depth.")
+}

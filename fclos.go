@@ -1,0 +1,478 @@
+// Package fclos is a from-scratch Go reproduction of Xin Yuan,
+// "On Nonblocking Folded-Clos Networks in Computer Communication
+// Environments" (IPPS 2011). It provides:
+//
+//   - builders for folded-Clos fat-trees ftree(n+m, r), three-stage Clos
+//     networks, m-port n-trees, k-ary n-trees, crossbars and the paper's
+//     recursive multi-level nonblocking construction (package
+//     internal/topology, re-exported here);
+//   - every routing scheme the paper analyzes — the Theorem-3 nonblocking
+//     single-path deterministic routing, traffic-oblivious multipath,
+//     the local adaptive algorithm NONBLOCKINGADAPTIVE, plus baselines
+//     (destination-mod static routing, centralized rearrangeable routing
+//     via bipartite edge coloring);
+//   - exact and randomized nonblocking verification (Lemma 1 all-pairs
+//     analysis, exhaustive and seeded permutation sweeps);
+//   - the closed-form nonblocking conditions (Theorems 1, 2, 5; Lemmas 2
+//     and 6) and the Table-I cost model;
+//   - a deterministic cycle-accurate packet simulator for throughput
+//     experiments against a crossbar reference.
+//
+// Quick start — build the nonblocking network of Theorem 3, route a
+// permutation, confirm zero contention:
+//
+//	sys, _ := fclos.NewDeterministicSystem(4, 20) // ftree(4+16, 20), 80 hosts
+//	rep, _ := sys.Verify(0, 0, 0)                 // exact Lemma-1 decision
+//	fmt.Println(rep.Nonblocking)                  // true
+//
+// The cmd/ directory ships CLI tools (ftree, nbverify, nbtables, nbsim)
+// and examples/ contains runnable scenario walkthroughs.
+package fclos
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/conditions"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Topologies
+// ---------------------------------------------------------------------------
+
+// Re-exported topology types. See package internal/topology for full
+// documentation of each.
+type (
+	// Network is the directed-graph model all topologies share.
+	Network = topology.Network
+	// NodeID identifies a host or switch.
+	NodeID = topology.NodeID
+	// LinkID identifies a directed link.
+	LinkID = topology.LinkID
+	// Path is a route through a Network.
+	Path = topology.Path
+	// FoldedClos is the two-level fat-tree ftree(n+m, r).
+	FoldedClos = topology.FoldedClos
+	// Clos is the three-stage unidirectional Clos(n, m, r).
+	Clos = topology.Clos
+	// Crossbar is the single-switch reference interconnect.
+	Crossbar = topology.Crossbar
+	// MPortNTree is the m-port n-tree FT(m, n) of Lin et al.
+	MPortNTree = topology.MPortNTree
+	// KAryNTree is the k-ary n-tree of Petrini and Vanneschi.
+	KAryNTree = topology.KAryNTree
+	// ThreeLevelFtree is the recursive 3-level nonblocking construction.
+	ThreeLevelFtree = topology.ThreeLevelFtree
+	// MultiFtree is the generic L-level recursive nonblocking network.
+	MultiFtree = topology.MultiFtree
+	// Benes is the rearrangeable Benes network B(k) on 2^k terminals.
+	Benes = topology.Benes
+	// XGFT is the extended generalized fat tree of Öhring et al.
+	XGFT = topology.XGFT
+)
+
+// NewFoldedClos builds ftree(n+m, r): r bottom switches with n hosts each,
+// m top switches of radix r.
+func NewFoldedClos(n, m, r int) *FoldedClos { return topology.NewFoldedClos(n, m, r) }
+
+// NewNonblockingFtree builds ftree(n+n², r), the smallest folded-Clos that
+// is nonblocking under single-path deterministic routing (Theorems 2–3).
+func NewNonblockingFtree(n, r int) *FoldedClos { return topology.NewFoldedClos(n, n*n, r) }
+
+// NewClos builds the three-stage Clos(n, m, r).
+func NewClos(n, m, r int) *Clos { return topology.NewClos(n, m, r) }
+
+// NewCrossbar builds an n-port crossbar.
+func NewCrossbar(n int) *Crossbar { return topology.NewCrossbar(n) }
+
+// NewMPortNTree builds the m-port n-tree FT(m, levels).
+func NewMPortNTree(m, levels int) *MPortNTree { return topology.NewMPortNTree(m, levels) }
+
+// NewKAryNTree builds the k-ary n-tree.
+func NewKAryNTree(k, levels int) *KAryNTree { return topology.NewKAryNTree(k, levels) }
+
+// NewThreeLevelFtree builds the recursive three-level nonblocking network
+// with n hosts per bottom switch and r bottom switches (r divisible by n);
+// the canonical instance uses r = n³+n².
+func NewThreeLevelFtree(n, r int) *ThreeLevelFtree { return topology.NewThreeLevelFtree(n, r) }
+
+// NewMultiFtree builds the canonical L-level recursive nonblocking network
+// (n^(L+1)+n^L hosts from (n+n²)-port switches).
+func NewMultiFtree(n, levels int) *MultiFtree { return topology.NewMultiFtree(n, levels) }
+
+// NewBenes builds the Benes network B(k) on 2^k terminals.
+func NewBenes(k int) *Benes { return topology.NewBenes(k) }
+
+// NewXGFT builds XGFT(h; m…; w…), the per-level-parameterized fat-tree
+// family ([13]); XGFT(2; [n, r]; [1, m]) is exactly ftree(n+m, r).
+func NewXGFT(h int, m, w []int) *XGFT { return topology.NewXGFT(h, m, w) }
+
+// WriteDOT renders a network in Graphviz DOT format.
+var WriteDOT = topology.WriteDOT
+
+// ---------------------------------------------------------------------------
+// Permutations
+// ---------------------------------------------------------------------------
+
+// Permutation is a (possibly partial) permutation communication pattern
+// (Definition 1 of the paper).
+type Permutation = permutation.Permutation
+
+// Pair is one source→destination communication.
+type Pair = permutation.Pair
+
+// Permutation constructors and generators; see internal/permutation.
+var (
+	NewPermutation    = permutation.New
+	PermFromPairs     = permutation.FromPairs
+	PermFromDsts      = permutation.FromDsts
+	RandomPermutation = permutation.Random
+	RandomPartial     = permutation.RandomPartial
+	IdentityPerm      = permutation.Identity
+	ShiftPerm         = permutation.Shift
+	TransposePerm     = permutation.Transpose
+	BitReversalPerm   = permutation.BitReversal
+	NeighborPerm      = permutation.Neighbor
+	SwitchShiftPerm   = permutation.SwitchShift
+	LocalRotatePerm   = permutation.LocalRotate
+	GreedyLowSpread   = permutation.GreedyLowSpread
+	ButterflyPerm     = permutation.Butterfly
+	EnumerateFull     = permutation.EnumerateFull
+	EnumerateSubsets  = permutation.EnumerateSubsets
+	// ParsePermutation reads "0->3 1->2"-style patterns.
+	ParsePermutation = permutation.Parse
+)
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+// Routing types; see internal/routing.
+type (
+	// Router routes whole communication patterns.
+	Router = routing.Router
+	// PairRouter is a single-path deterministic router.
+	PairRouter = routing.PairRouter
+	// Assignment is the set of paths carrying each SD pair.
+	Assignment = routing.Assignment
+	// NonblockingAdaptive is algorithm NONBLOCKINGADAPTIVE (Fig. 4).
+	NonblockingAdaptive = routing.NonblockingAdaptive
+)
+
+// Router constructors; see internal/routing for the scheme definitions.
+var (
+	// NewPaperDeterministic is the Theorem-3 routing (requires m ≥ n²).
+	NewPaperDeterministic = routing.NewPaperDeterministic
+	// NewPaperDeterministicFolded folds top indices mod m (blocks when
+	// m < n²; used for tightness experiments).
+	NewPaperDeterministicFolded = routing.NewPaperDeterministicFolded
+	// NewDestMod / NewSourceMod / NewDestSwitchMod are static baselines.
+	NewDestMod       = routing.NewDestMod
+	NewSourceMod     = routing.NewSourceMod
+	NewDestSwitchMod = routing.NewDestSwitchMod
+	// NewRandomFixed freezes a random path per SD pair.
+	NewRandomFixed = routing.NewRandomFixed
+	// NewFullSpray / NewKSpray / NewPaperMultipath are §IV.B oblivious
+	// multipath schemes.
+	NewFullSpray      = routing.NewFullSpray
+	NewKSpray         = routing.NewKSpray
+	NewPaperMultipath = routing.NewPaperMultipath
+	// NewNonblockingAdaptive is NONBLOCKINGADAPTIVE (§V).
+	NewNonblockingAdaptive = routing.NewNonblockingAdaptive
+	// NewGreedyLocal is the local adaptive baseline without Class-DIFF.
+	NewGreedyLocal = routing.NewGreedyLocal
+	// NewGlobalRearrangeable / NewClosRearrangeable realize the Benes
+	// m ≥ n condition by bipartite edge coloring (centralized control).
+	NewGlobalRearrangeable = routing.NewGlobalRearrangeable
+	NewClosRearrangeable   = routing.NewClosRearrangeable
+	// NewBenesLooping routes any permutation on B(k) edge-disjointly
+	// via the classic looping algorithm.
+	NewBenesLooping = routing.NewBenesLooping
+	// EdgeColorBipartite is the coloring engine itself.
+	EdgeColorBipartite = routing.EdgeColorBipartite
+	// m-port n-tree routers.
+	NewMNTDestMod     = routing.NewMNTDestMod
+	NewMNTRandomFixed = routing.NewMNTRandomFixed
+	NewMNTSpray       = routing.NewMNTSpray
+	// k-ary n-tree routers.
+	NewKAryDestMod     = routing.NewKAryDestMod
+	NewKAryRandomFixed = routing.NewKAryRandomFixed
+	// NewThreeLevelPaper routes the recursive 3-level construction;
+	// NewMultiLevelPaper the generic L-level one.
+	NewThreeLevelPaper = routing.NewThreeLevelPaper
+	NewMultiLevelPaper = routing.NewMultiLevelPaper
+	// NewCrossbarRouter routes the reference crossbar.
+	NewCrossbarRouter = routing.NewCrossbarRouter
+	// NewPaperDeterministicSpared hardens the Theorem-3 scheme with
+	// dedicated spare top switches for fault tolerance.
+	NewPaperDeterministicSpared = routing.NewPaperDeterministicSpared
+	// NewClosOnline manages circuits under the classic telephone model.
+	NewClosOnline = routing.NewClosOnline
+	// ReplayClosEvents applies an online setup/teardown sequence.
+	ReplayClosEvents = routing.Replay
+)
+
+// Online circuit-switching types (§II baselines).
+type (
+	// ClosOnline is the online connection manager.
+	ClosOnline = routing.ClosOnline
+	// ClosEvent is one setup or teardown request.
+	ClosEvent = routing.ClosEvent
+	// ClosPolicy selects the middle-switch strategy.
+	ClosPolicy = routing.ClosPolicy
+	// SparedDeterministic is the fault-hardened Theorem-3 router.
+	SparedDeterministic = routing.SparedDeterministic
+)
+
+// Online middle-switch selection policies.
+const (
+	// PolicyFirstFit realizes Clos strict-sense behaviour at m ≥ 2n−1.
+	PolicyFirstFit = routing.FirstFit
+	// PolicyPacking is the Yang–Wang wide-sense strategy.
+	PolicyPacking = routing.Packing
+	// PolicyLeastLoaded spreads circuits (provably inferior).
+	PolicyLeastLoaded = routing.LeastLoaded
+)
+
+// ---------------------------------------------------------------------------
+// Analysis and verification
+// ---------------------------------------------------------------------------
+
+// Analysis types; see internal/analysis.
+type (
+	// ContentionReport is the per-link load analysis of an assignment.
+	ContentionReport = analysis.Report
+	// Lemma1Result is the exact all-pairs nonblocking decision.
+	Lemma1Result = analysis.Lemma1Result
+	// SweepResult summarizes a permutation sweep.
+	SweepResult = analysis.SweepResult
+)
+
+// Verification entry points; see internal/analysis.
+var (
+	// CheckContention computes link loads of a routed pattern.
+	CheckContention = analysis.Check
+	// ComputeLoadStats summarizes a routed pattern's per-link load
+	// distribution.
+	ComputeLoadStats = analysis.ComputeLoadStats
+	// CheckLemma1AllPairs decides nonblocking exactly for deterministic
+	// routing (Lemma 1).
+	CheckLemma1AllPairs = analysis.CheckLemma1AllPairs
+	// BlockingWitness extracts a blocked two-pair permutation from a
+	// Lemma-1 violation.
+	BlockingWitness = analysis.BlockingWitness
+	// SweepExhaustive / SweepRandom test many permutations;
+	// SweepExhaustiveParallel shards the n! patterns over a worker pool.
+	SweepExhaustive         = analysis.SweepExhaustive
+	SweepExhaustiveParallel = analysis.SweepExhaustiveParallel
+	SweepRandom             = analysis.SweepRandom
+	// BlockingProbability estimates P(contention) over random
+	// permutations (Parallel variant splits trials across workers).
+	BlockingProbability         = analysis.BlockingProbability
+	BlockingProbabilityParallel = analysis.BlockingProbabilityParallel
+	// MaxRootPairsModes / MaxRootPairsNaive / RootSetWitness /
+	// CheckRootSet are the Lemma-2 exact searches.
+	MaxRootPairsModes         = analysis.MaxRootPairsModes
+	MaxRootPairsModesParallel = analysis.MaxRootPairsModesParallel
+	MaxRootPairsNaive         = analysis.MaxRootPairsNaive
+	RootSetWitness            = analysis.RootSetWitness
+	CheckRootSet              = analysis.CheckRootSet
+)
+
+// WorstCaseSearch hill-climbs for maximally contended permutations.
+type WorstCaseSearch = analysis.WorstCaseSearch
+
+// Analytic randomized-routing model ([6]); see internal/analysis.
+var (
+	// ModelRandomClearProb approximates P(random permutation clear)
+	// under uniform random top-switch choices.
+	ModelRandomClearProb = analysis.ModelRandomClearProb
+	// MeasureRandomClearProb estimates the same by Monte Carlo.
+	MeasureRandomClearProb = analysis.MeasureRandomClearProb
+	// ModelExpectedCollisions is the first-order collision count 2r·C(n,2)/m.
+	ModelExpectedCollisions = analysis.ModelExpectedCollisions
+	// WorstCaseLinkLoad computes the exact worst-case permutation load
+	// per link (maximum matching); WorstCasePermutationFor constructs a
+	// permutation realizing it.
+	WorstCaseLinkLoad       = analysis.WorstCaseLinkLoad
+	WorstCasePermutationFor = analysis.WorstCasePermutationFor
+)
+
+// ---------------------------------------------------------------------------
+// Conditions (closed forms) and cost model
+// ---------------------------------------------------------------------------
+
+// Closed-form conditions; see internal/conditions.
+var (
+	Lemma2Cap                          = conditions.Lemma2Cap
+	CrossSwitchPairs                   = conditions.CrossSwitchPairs
+	DeterministicMinM                  = conditions.DeterministicMinM
+	IsDeterministicNonblockingFeasible = conditions.IsDeterministicNonblockingFeasible
+	SmallTopMinM                       = conditions.SmallTopMinM
+	Theorem1PortBound                  = conditions.Theorem1PortBound
+	SmallestC                          = conditions.SmallestC
+	AdaptiveSimpleM                    = conditions.AdaptiveSimpleM
+	AdaptiveRecurrenceT                = conditions.AdaptiveRecurrenceT
+	AdaptiveTheorem5M                  = conditions.AdaptiveTheorem5M
+	AdaptiveAsymptote                  = conditions.AdaptiveAsymptote
+	Lemma6MinSpread                    = conditions.Lemma6MinSpread
+	Lemma6Spread                       = conditions.Lemma6Spread
+	ClosStrictM                        = conditions.ClosStrictM
+	ClosRearrangeableM                 = conditions.ClosRearrangeableM
+)
+
+// Cost-model types; see internal/cost.
+type (
+	// Design summarizes one interconnect build.
+	Design = cost.Design
+	// TableIRow is one row of the paper's Table I.
+	TableIRow = cost.TableIRow
+	// ScalingRow compares 2- and 3-level constructions.
+	ScalingRow = cost.ScalingRow
+)
+
+// Cost-model entry points; see internal/cost.
+var (
+	// TableI regenerates Table I for given building-block sizes.
+	TableI = cost.TableI
+	// PaperTableI is Table I with 20/30/42-port switches.
+	PaperTableI = cost.PaperTableI
+	// NonblockingFtreeDesign is the ftree(n+n², n+n²) cost row.
+	NonblockingFtreeDesign = cost.NonblockingFtree
+	// ThreeLevelNonblockingDesign is the recursive 3-level cost row.
+	ThreeLevelNonblockingDesign = cost.ThreeLevelNonblocking
+	// ScalingTable is the Discussion's multi-level comparison.
+	ScalingTable = cost.ScalingTable
+)
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+// Simulator types; see internal/sim.
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// SimResult is one run's metrics.
+	SimResult = sim.Result
+	// SimFlow is one SD pair's traffic.
+	SimFlow = sim.Flow
+	// ThroughputSummary aggregates crossbar-relative performance.
+	ThroughputSummary = sim.ThroughputSummary
+)
+
+// Simulator entry points; see internal/sim.
+var (
+	// Simulate runs flows over a network.
+	Simulate = sim.Run
+	// SimulatePermutation routes then simulates one pattern.
+	SimulatePermutation = sim.RunPermutation
+	// CrossbarReference simulates the pattern on an ideal crossbar.
+	CrossbarReference = sim.CrossbarReference
+	// CompareToCrossbar reports slowdown statistics over random patterns.
+	CompareToCrossbar = sim.CompareToCrossbar
+	// FlowsFromAssignment adapts routing output for the simulator.
+	FlowsFromAssignment = sim.FlowsFromAssignment
+	// OpenLoop / LoadSweep run rate-injected (open-loop) simulations.
+	OpenLoop  = sim.OpenLoop
+	LoadSweep = sim.LoadSweep
+	// PairPathsFunc / MultiPathsFunc / AssignmentPathsFunc adapt routers
+	// for open-loop runs; PermPairs converts a destination vector.
+	PairPathsFunc       = sim.PairPathsFunc
+	MultiPathsFunc      = sim.MultiPathsFunc
+	AssignmentPathsFunc = sim.AssignmentPathsFunc
+	PermPairs           = sim.PermPairs
+)
+
+// Open-loop simulation types.
+type (
+	// OpenLoopConfig parameterizes rate-injected runs.
+	OpenLoopConfig = sim.OpenLoopConfig
+	// OpenLoopResult is one open-loop run's metrics.
+	OpenLoopResult = sim.OpenLoopResult
+	// LoadSweepPoint is one offered-load sample.
+	LoadSweepPoint = sim.LoadSweepPoint
+)
+
+// Simulator enum re-exports.
+const (
+	// ArbiterOldestFirst serves the longest-waiting packet.
+	ArbiterOldestFirst = sim.OldestFirst
+	// ArbiterRoundRobin cycles over flows.
+	ArbiterRoundRobin = sim.RoundRobin
+	// SprayRoundRobin / SprayRandom pick multipath packets' paths.
+	SprayRoundRobin = sim.SprayRoundRobin
+	SprayRandom     = sim.SprayRandom
+	// AdaptLocal / AdaptOracle select the in-network adaptive modes.
+	AdaptLocal  = sim.AdaptLocal
+	AdaptOracle = sim.AdaptOracle
+)
+
+// RunFtreeAdaptive simulates per-packet in-network adaptive trunk
+// selection on a folded-Clos (E16; the [1]/[9] baseline).
+var RunFtreeAdaptive = sim.RunFtreeAdaptive
+
+// ---------------------------------------------------------------------------
+// Collective workloads
+// ---------------------------------------------------------------------------
+
+// Workload types; see internal/workload.
+type (
+	// Workload is a sequence of permutation phases (BSP collectives).
+	Workload = workload.Workload
+	// WorkloadResult aggregates a simulated workload run.
+	WorkloadResult = workload.Result
+)
+
+// Collective workload generators and runners; see internal/workload.
+var (
+	// AllToAll / ButterflyExchange / RingExchange / Stencil2D /
+	// TransposeWorkload / RandomPhases build standard collectives.
+	AllToAll          = workload.AllToAll
+	ButterflyExchange = workload.ButterflyExchange
+	RingExchange      = workload.RingExchange
+	Stencil2D         = workload.Stencil2D
+	TransposeWorkload = workload.TransposeWorkload
+	RandomPhases      = workload.RandomPhases
+	// RunWorkload simulates a workload phase by phase;
+	// RunWorkloadCrossbar is the ideal reference.
+	RunWorkload         = workload.Run
+	RunWorkloadCrossbar = workload.RunCrossbar
+)
+
+// ---------------------------------------------------------------------------
+// High-level systems (the paper's contribution, assembled)
+// ---------------------------------------------------------------------------
+
+// System pairs a folded-Clos network with the router that makes it
+// nonblocking; see internal/core.
+type (
+	System       = core.System
+	VerifyReport = core.VerifyReport
+	RoutingClass = core.RoutingClass
+	Proposal     = core.Proposal
+)
+
+// Routing classes for Plan and System.
+const (
+	Deterministic       = core.Deterministic
+	LocalAdaptive       = core.LocalAdaptive
+	GlobalRearrangeable = core.GlobalRearrangeable
+)
+
+// System constructors and the design planner; see internal/core.
+var (
+	// NewDeterministicSystem builds ftree(n+n², r) + Theorem-3 routing.
+	NewDeterministicSystem = core.NewDeterministicSystem
+	// NewAdaptiveSystem builds ftree(n+m, r) + NONBLOCKINGADAPTIVE.
+	NewAdaptiveSystem = core.NewAdaptiveSystem
+	// NewRearrangeableSystem builds the centralized m = n baseline.
+	NewRearrangeableSystem = core.NewRearrangeableSystem
+	// Plan enumerates nonblocking designs for a switch radix.
+	Plan = core.Plan
+)

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"math/rand"
+
+	"repro/internal/permutation"
+	"repro/internal/routing"
+)
+
+// WorstCaseSearch looks for permutations that maximize contention under a
+// router by seeded random restarts plus pairwise-swap hill climbing: the
+// adversarial counterpart to the average-case BlockingProbability. The
+// objective is the number of contended links, with the maximum per-link
+// load as tie-breaker. For deterministic routing the Lemma-1 analysis
+// already yields exact two-pair witnesses; this search instead produces
+// *heavily* blocked full permutations, quantifying how bad worst-case
+// patterns get (the paper's motivation cites factor-of-several throughput
+// losses, which need many contended links, not just one).
+type WorstCaseSearch struct {
+	// Router is the scheme under attack.
+	Router routing.Router
+	// Hosts is the endpoint count.
+	Hosts int
+	// Restarts and Steps bound the search (restarts × steps routings).
+	Restarts, Steps int
+	// Seed makes the search reproducible.
+	Seed int64
+}
+
+// WorstCaseResult reports the most-contended pattern found.
+type WorstCaseResult struct {
+	// Permutation is the worst pattern found (a clone; caller-owned).
+	Permutation *permutation.Permutation
+	// ContendedLinks and MaxLoad are its contention metrics.
+	ContendedLinks, MaxLoad int
+	// Evaluated counts routed candidate patterns.
+	Evaluated int
+}
+
+// Run executes the search. Routing errors abort with the error.
+func (s *WorstCaseSearch) Run() (*WorstCaseResult, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	best := &WorstCaseResult{}
+	score := func(p *permutation.Permutation) (int, int, error) {
+		a, err := s.Router.Route(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		rep := Check(a)
+		return len(rep.Contended), rep.MaxLoad, nil
+	}
+	for restart := 0; restart < s.Restarts; restart++ {
+		cur := permutation.Random(rng, s.Hosts)
+		curC, curL, err := score(cur)
+		if err != nil {
+			return nil, err
+		}
+		best.Evaluated++
+		s.consider(best, cur, curC, curL)
+		for step := 0; step < s.Steps; step++ {
+			// Swap the destinations of two random sources.
+			i, j := rng.Intn(s.Hosts), rng.Intn(s.Hosts)
+			if i == j {
+				continue
+			}
+			cand := cur.Clone()
+			di, dj := cand.Dst(i), cand.Dst(j)
+			cand.Remove(i)
+			cand.Remove(j)
+			if err := cand.Add(i, dj); err != nil {
+				return nil, err
+			}
+			if err := cand.Add(j, di); err != nil {
+				return nil, err
+			}
+			cc, cl, err := score(cand)
+			if err != nil {
+				return nil, err
+			}
+			best.Evaluated++
+			if cc > curC || (cc == curC && cl >= curL) {
+				cur, curC, curL = cand, cc, cl
+				s.consider(best, cur, curC, curL)
+			}
+		}
+	}
+	return best, nil
+}
+
+func (s *WorstCaseSearch) consider(best *WorstCaseResult, p *permutation.Permutation, contended, load int) {
+	if contended > best.ContendedLinks || (contended == best.ContendedLinks && load > best.MaxLoad) ||
+		best.Permutation == nil {
+		best.Permutation = p.Clone()
+		best.ContendedLinks = contended
+		best.MaxLoad = load
+	}
+}

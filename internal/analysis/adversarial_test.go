@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestWorstCaseSearchFindsHeavyContention(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 5)
+	s := &WorstCaseSearch{
+		Router:   routing.NewDestMod(f),
+		Hosts:    f.Ports(),
+		Restarts: 3,
+		Steps:    60,
+		Seed:     1,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Permutation == nil || res.Evaluated == 0 {
+		t.Fatal("search produced nothing")
+	}
+	if res.ContendedLinks < 2 {
+		t.Fatalf("hill climbing found only %d contended links on dest-mod", res.ContendedLinks)
+	}
+	// Re-verify the reported pattern independently.
+	a, err := s.Router.Route(res.Permutation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(a)
+	if len(rep.Contended) != res.ContendedLinks || rep.MaxLoad != res.MaxLoad {
+		t.Fatalf("reported (%d,%d) vs recomputed (%d,%d)",
+			res.ContendedLinks, res.MaxLoad, len(rep.Contended), rep.MaxLoad)
+	}
+}
+
+func TestWorstCaseSearchOnNonblockingStaysZero(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 5)
+	r, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &WorstCaseSearch{Router: r, Hosts: f.Ports(), Restarts: 2, Steps: 40, Seed: 2}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContendedLinks != 0 || res.MaxLoad > 1 {
+		t.Fatalf("adversary found contention on the nonblocking routing: %+v", res)
+	}
+}
+
+func TestWorstCaseSearchSurfacesRoutingErrors(t *testing.T) {
+	f := topology.NewFoldedClos(2, 1, 4)
+	ad, err := routing.NewNonblockingAdaptive(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &WorstCaseSearch{Router: ad, Hosts: f.Ports(), Restarts: 1, Steps: 5, Seed: 3}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("expected routing error with m=1")
+	}
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/routing"
+)
+
+// LoadStats summarizes the per-link SD-pair load distribution of a routed
+// pattern — the quantity the blocking-probability literature tracks and
+// the simulator's serialization behaviour is governed by.
+type LoadStats struct {
+	// Histogram[k] counts links carrying exactly k SD pairs (k ≥ 1).
+	Histogram map[int]int
+	// LoadedLinks is the number of links carrying at least one pair.
+	LoadedLinks int
+	// MaxLoad is the largest per-link load.
+	MaxLoad int
+	// MeanLoad is the average load over loaded links.
+	MeanLoad float64
+	// ContendedFraction is the share of loaded links with load ≥ 2.
+	ContendedFraction float64
+}
+
+// ComputeLoadStats builds the load distribution of an assignment.
+func ComputeLoadStats(a *routing.Assignment) *LoadStats {
+	rep := Check(a)
+	st := &LoadStats{Histogram: make(map[int]int)}
+	total := 0
+	contended := 0
+	for _, pairs := range rep.LinkPairs {
+		k := len(pairs)
+		st.Histogram[k]++
+		st.LoadedLinks++
+		total += k
+		if k > st.MaxLoad {
+			st.MaxLoad = k
+		}
+		if k >= 2 {
+			contended++
+		}
+	}
+	if st.LoadedLinks > 0 {
+		st.MeanLoad = float64(total) / float64(st.LoadedLinks)
+		st.ContendedFraction = float64(contended) / float64(st.LoadedLinks)
+	}
+	return st
+}
+
+// String renders the distribution compactly, e.g.
+// "links=96 mean=1.25 max=3 contended=12.5% hist[1:84 2:8 3:4]".
+func (s *LoadStats) String() string {
+	keys := make([]int, 0, len(s.Histogram))
+	for k := range s.Histogram {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var hist strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			hist.WriteByte(' ')
+		}
+		fmt.Fprintf(&hist, "%d:%d", k, s.Histogram[k])
+	}
+	return fmt.Sprintf("links=%d mean=%.2f max=%d contended=%.1f%% hist[%s]",
+		s.LoadedLinks, s.MeanLoad, s.MaxLoad, 100*s.ContendedFraction, hist.String())
+}

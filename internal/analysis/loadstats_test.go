@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestLoadStatsNonblockingAllOnes(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 5)
+	r, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Route(permutation.SwitchShift(2, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeLoadStats(a)
+	if st.MaxLoad != 1 || st.ContendedFraction != 0 || st.MeanLoad != 1 {
+		t.Fatalf("nonblocking stats: %+v", st)
+	}
+	// Each of the 10 cross-switch pairs uses 4 links, all distinct.
+	if st.LoadedLinks != 40 || st.Histogram[1] != 40 {
+		t.Fatalf("loaded links: %+v", st)
+	}
+	if !strings.Contains(st.String(), "max=1") {
+		t.Fatalf("String: %s", st)
+	}
+}
+
+func TestLoadStatsContended(t *testing.T) {
+	f := topology.NewFoldedClos(2, 2, 3)
+	collide := &routing.FtreeSinglePath{F: f, RouterName: "collide", TopChoice: func(s, d int) int { return 0 }}
+	p, err := permutation.FromPairs(f.Ports(), []permutation.Pair{{Src: 0, Dst: 4}, {Src: 2, Dst: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := collide.Route(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeLoadStats(a)
+	if st.MaxLoad != 2 || st.Histogram[2] != 1 {
+		t.Fatalf("contended stats: %+v", st)
+	}
+	if st.ContendedFraction <= 0 || st.MeanLoad <= 1 {
+		t.Fatalf("fractions: %+v", st)
+	}
+	if !strings.Contains(st.String(), "2:1") {
+		t.Fatalf("String: %s", st)
+	}
+}
+
+func TestLoadStatsEmpty(t *testing.T) {
+	f := topology.NewFoldedClos(2, 2, 3)
+	r, err := routing.NewPaperDeterministicFolded(f), error(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Route(permutation.New(f.Ports()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeLoadStats(a)
+	if st.LoadedLinks != 0 || st.MeanLoad != 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/permutation"
+	"repro/internal/routing"
+)
+
+// The parallel verification engine. Every router in this repository is
+// safe for concurrent Route calls — routing state is per-call — so sweeps
+// parallelize over patterns with a plain worker pool. Results are merged
+// deterministically: counts are exact, and FirstBlocked is the blocked
+// pattern from the lowest-numbered shard (sequential order), so parallel
+// and sequential sweeps agree on everything except wall-clock time.
+
+// SweepExhaustiveParallel is SweepExhaustive over `workers` goroutines,
+// sharding the n! permutations into n batches by the first endpoint's
+// destination. workers ≤ 0 selects GOMAXPROCS.
+func SweepExhaustiveParallel(r routing.Router, hosts, workers int) *SweepResult {
+	if hosts <= 1 {
+		return SweepExhaustive(r, hosts)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type shardResult struct {
+		res   SweepResult
+		shard int
+	}
+	shards := make(chan int)
+	results := make([]shardResult, hosts)
+	var wg sync.WaitGroup
+	var abort atomic.Bool
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := range shards {
+				sr := &results[shard]
+				sr.shard = shard
+				permutation.EnumerateFullPrefix(hosts, shard, func(p *permutation.Permutation) bool {
+					if abort.Load() {
+						return false
+					}
+					a, err := r.Route(p)
+					if err != nil {
+						sr.res.RouteErr = fmt.Errorf("analysis: pattern %s: %w", p, err)
+						abort.Store(true)
+						return false
+					}
+					sr.res.Tested++
+					rep := Check(a)
+					if rep.MaxLoad > sr.res.MaxLinkLoad {
+						sr.res.MaxLinkLoad = rep.MaxLoad
+					}
+					if rep.HasContention() {
+						sr.res.Blocked++
+						if sr.res.FirstBlocked == nil {
+							sr.res.FirstBlocked = p.Clone()
+						}
+					}
+					return true
+				})
+			}
+		}()
+	}
+	for shard := 0; shard < hosts; shard++ {
+		shards <- shard
+	}
+	close(shards)
+	wg.Wait()
+
+	merged := &SweepResult{}
+	for i := range results {
+		sr := &results[i].res
+		merged.Tested += sr.Tested
+		merged.Blocked += sr.Blocked
+		if sr.MaxLinkLoad > merged.MaxLinkLoad {
+			merged.MaxLinkLoad = sr.MaxLinkLoad
+		}
+		if merged.FirstBlocked == nil && sr.FirstBlocked != nil {
+			merged.FirstBlocked = sr.FirstBlocked
+		}
+		if merged.RouteErr == nil && sr.RouteErr != nil {
+			merged.RouteErr = sr.RouteErr
+		}
+	}
+	return merged
+}
+
+// BlockingProbabilityParallel is BlockingProbability over a worker pool:
+// `trials` random permutations are split across workers with per-worker
+// derived seeds (seed+worker). The estimate is statistically equivalent to
+// the sequential version but not bit-identical (different RNG streams).
+func BlockingProbabilityParallel(r routing.Router, hosts, trials, workers int, seed int64) (blockFrac, meanMaxLoad float64, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		return BlockingProbability(r, hosts, trials, seed)
+	}
+	type out struct {
+		blocked, loadSum, trials int
+		err                      error
+	}
+	outs := make([]out, workers)
+	var wg sync.WaitGroup
+	per := trials / workers
+	extra := trials % workers
+	for w := 0; w < workers; w++ {
+		quota := per
+		if w < extra {
+			quota++
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			frac, load, err := BlockingProbability(r, hosts, quota, seed+int64(w)*7919)
+			if err != nil {
+				outs[w].err = err
+				return
+			}
+			outs[w].trials = quota
+			outs[w].blocked = int(frac*float64(quota) + 0.5)
+			outs[w].loadSum = int(load*float64(quota) + 0.5)
+		}(w, quota)
+	}
+	wg.Wait()
+	blocked, loadSum, total := 0, 0, 0
+	for _, o := range outs {
+		if o.err != nil {
+			return 0, 0, o.err
+		}
+		blocked += o.blocked
+		loadSum += o.loadSum
+		total += o.trials
+	}
+	if total == 0 {
+		return 0, 0, nil
+	}
+	return float64(blocked) / float64(total), float64(loadSum) / float64(total), nil
+}
+
+// MaxRootPairsModesParallel is MaxRootPairsModes parallelized over the
+// first switch's uplink mode (r branches). Exact and identical to the
+// sequential search.
+func MaxRootPairsModesParallel(n, r, workers int) int {
+	if n < 1 || r < 1 {
+		panic(fmt.Sprintf("analysis: invalid Lemma-2 instance n=%d r=%d", n, r))
+	}
+	if r == 1 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Branches: first switch's mode is modeShared or DST(t), t ∈ [1, r)
+	// (t = 0 is the switch itself, excluded).
+	branches := make(chan int)
+	best := make([]int, r+1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			up := make([]int, r)
+			for b := range branches {
+				if b == 0 {
+					up[0] = modeShared
+				} else {
+					up[0] = b // DST(b)
+				}
+				best[b] = lemma2SearchFrom(n, r, up, 1)
+			}
+		}()
+	}
+	for b := 0; b < r; b++ {
+		branches <- b
+	}
+	close(branches)
+	wg.Wait()
+	max := 0
+	for _, v := range best {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// lemma2SearchFrom explores uplink modes for switches v.. and returns the
+// best total, with up[0..v) already fixed.
+func lemma2SearchFrom(n, r int, up []int, v int) int {
+	if v == r {
+		total := 0
+		for w := 0; w < r; w++ {
+			bestW := 0
+			for dw := -1; dw < r; dw++ {
+				if dw == w {
+					continue
+				}
+				s := 0
+				for x := 0; x < r; x++ {
+					if x != w {
+						s += lemma2f(n, x, w, up[x], dw)
+					}
+				}
+				if s > bestW {
+					bestW = s
+				}
+			}
+			total += bestW
+		}
+		return total
+	}
+	best := 0
+	try := func() {
+		if t := lemma2SearchFrom(n, r, up, v+1); t > best {
+			best = t
+		}
+	}
+	up[v] = modeShared
+	try()
+	for t := 0; t < r; t++ {
+		if t == v {
+			continue
+		}
+		up[v] = t
+		try()
+	}
+	return best
+}

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestSweepExhaustiveParallelMatchesSequential(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 3)
+	good, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := routing.NewDestMod(f)
+	for _, r := range []routing.Router{good, bad} {
+		seq := SweepExhaustive(r, f.Ports())
+		for _, workers := range []int{1, 2, 4, 0} {
+			par := SweepExhaustiveParallel(r, f.Ports(), workers)
+			if par.Tested != seq.Tested || par.Blocked != seq.Blocked || par.MaxLinkLoad != seq.MaxLinkLoad {
+				t.Fatalf("%s workers=%d: parallel (%d,%d,%d) vs sequential (%d,%d,%d)",
+					r.Name(), workers, par.Tested, par.Blocked, par.MaxLinkLoad,
+					seq.Tested, seq.Blocked, seq.MaxLinkLoad)
+			}
+			if (seq.FirstBlocked == nil) != (par.FirstBlocked == nil) {
+				t.Fatalf("%s: FirstBlocked presence mismatch", r.Name())
+			}
+		}
+	}
+}
+
+func TestSweepExhaustiveParallelTinyAndErrors(t *testing.T) {
+	f := topology.NewFoldedClos(1, 1, 1)
+	r, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SweepExhaustiveParallel(r, f.Ports(), 4)
+	if res.Tested != 1 {
+		t.Fatalf("hosts=1: tested %d", res.Tested)
+	}
+	// Routing errors surface and stop the sweep.
+	tiny := topology.NewFoldedClos(2, 1, 3)
+	ad, err := routing.NewNonblockingAdaptive(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SweepExhaustiveParallel(ad, tiny.Ports(), 3)
+	if out.RouteErr == nil {
+		t.Fatal("expected route error")
+	}
+	if out.Nonblocking() {
+		t.Fatal("errored sweep must not claim nonblocking")
+	}
+}
+
+func TestBlockingProbabilityParallel(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 5)
+	good, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, load, err := BlockingProbabilityParallel(good, f.Ports(), 40, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 0 || load != 1 {
+		t.Fatalf("nonblocking: frac=%v load=%v", frac, load)
+	}
+	bad := routing.NewDestMod(f)
+	frac, _, err = BlockingProbabilityParallel(bad, f.Ports(), 40, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac <= 0 {
+		t.Fatal("dest-mod should block sometimes")
+	}
+	// workers > trials and workers <= 1 paths.
+	if _, _, err := BlockingProbabilityParallel(good, f.Ports(), 2, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := BlockingProbabilityParallel(good, f.Ports(), 5, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f2, l2, err := BlockingProbabilityParallel(good, f.Ports(), 0, 0, 1); err != nil || f2 != 0 || l2 != 0 {
+		t.Fatal("zero trials should return zeros")
+	}
+	// Errors propagate.
+	tiny := topology.NewFoldedClos(2, 1, 3)
+	ad, err := routing.NewNonblockingAdaptive(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := BlockingProbabilityParallel(ad, tiny.Ports(), 8, 4, 1); err == nil {
+		t.Fatal("expected routing error")
+	}
+}
+
+func TestMaxRootPairsModesParallelMatchesSequential(t *testing.T) {
+	for _, c := range []struct{ n, r int }{{1, 3}, {2, 3}, {2, 5}, {3, 4}} {
+		seq := MaxRootPairsModes(c.n, c.r)
+		for _, workers := range []int{1, 3, 0} {
+			par := MaxRootPairsModesParallel(c.n, c.r, workers)
+			if par != seq {
+				t.Fatalf("n=%d r=%d workers=%d: parallel %d vs sequential %d", c.n, c.r, workers, par, seq)
+			}
+		}
+	}
+	if MaxRootPairsModesParallel(2, 1, 2) != 0 {
+		t.Fatal("r=1 should be 0")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("invalid instance should panic")
+			}
+		}()
+		MaxRootPairsModesParallel(0, 2, 2)
+	}()
+}
+
+func TestEnumerateFullPrefixShardsPartition(t *testing.T) {
+	// The n shards together must produce exactly the n! permutations,
+	// each once.
+	n := 5
+	seen := map[string]bool{}
+	total := 0
+	for shard := 0; shard < n; shard++ {
+		ok := permutation.EnumerateFullPrefix(n, shard, func(p *permutation.Permutation) bool {
+			s := p.String()
+			if seen[s] {
+				t.Fatalf("duplicate %s", s)
+			}
+			seen[s] = true
+			total++
+			if p.Dst(0) != shard {
+				t.Fatalf("shard %d produced %s", shard, s)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			return true
+		})
+		if !ok {
+			t.Fatal("shard aborted")
+		}
+	}
+	if total != permutation.CountFull(n) {
+		t.Fatalf("total %d, want %d", total, permutation.CountFull(n))
+	}
+	// Degenerate shards.
+	if !permutation.EnumerateFullPrefix(0, 0, func(*permutation.Permutation) bool { return true }) {
+		t.Fatal("n=0 shard")
+	}
+	if !permutation.EnumerateFullPrefix(3, 9, func(*permutation.Permutation) bool { return true }) {
+		t.Fatal("out-of-range shard should be empty and complete")
+	}
+	// Early stop.
+	count := 0
+	done := permutation.EnumerateFullPrefix(4, 1, func(*permutation.Permutation) bool {
+		count++
+		return count < 2
+	})
+	if done || count != 2 {
+		t.Fatalf("early stop: done=%v count=%d", done, count)
+	}
+}

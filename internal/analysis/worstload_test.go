@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestWorstCaseLinkLoadNonblockingIsOne(t *testing.T) {
+	// Lemma 1 restated: the Theorem-3 routing's worst-case load is
+	// exactly 1 on every link.
+	f := topology.NewFoldedClos(3, 9, 7)
+	r, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WorstCaseLinkLoad(r, f.Ports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoad != 1 {
+		t.Fatalf("nonblocking worst-case load = %d", res.MaxLoad)
+	}
+	for l, load := range res.PerLink {
+		if load != 1 {
+			t.Fatalf("link %d worst-case load %d", l, load)
+		}
+	}
+}
+
+func TestWorstCaseLinkLoadDestMod(t *testing.T) {
+	// Dest-mod with m = n² on ftree(2+4,5): host uplinks carry one
+	// source each (load 1), but each trunk downlink t→w aggregates every
+	// source toward one destination... per (t, w) the destinations are
+	// w's hosts ≡ t mod m: with n=2 < m=4 exactly one destination per
+	// (t, w), so downlinks stay at 1 while *uplinks* aggregate pairs from
+	// both hosts of a switch toward destinations ≡ t mod 4 — distinct
+	// sources and distinct destinations: worst-case 2.
+	f := topology.NewFoldedClos(2, 4, 5)
+	r := routing.NewDestMod(f)
+	res, err := WorstCaseLinkLoad(r, f.Ports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoad != 2 {
+		t.Fatalf("dest-mod worst-case load = %d, want 2", res.MaxLoad)
+	}
+	// The witness permutation must actually realize the load.
+	p, err := WorstCasePermutationFor(r, f.Ports(), res.Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Route(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(a)
+	if rep.MaxLoad != res.MaxLoad {
+		t.Fatalf("witness realizes load %d, want %d", rep.MaxLoad, res.MaxLoad)
+	}
+}
+
+func TestWorstCaseLinkLoadGrowsWithAggregation(t *testing.T) {
+	// Source-mod routing: all pairs from one host share one top switch;
+	// each downlink t→w then carries pairs from up to r−1 distinct
+	// sources to n distinct destinations — worst-case min(sources, n)=n.
+	f := topology.NewFoldedClos(3, 9, 7)
+	r := routing.NewSourceMod(f)
+	res, err := WorstCaseLinkLoad(r, f.Ports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoad < 3 {
+		t.Fatalf("source-mod worst-case load = %d, want >= n = 3", res.MaxLoad)
+	}
+	p, err := WorstCasePermutationFor(r, f.Ports(), res.Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Route(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Check(a).MaxLoad; got != res.MaxLoad {
+		t.Fatalf("witness load %d, want %d", got, res.MaxLoad)
+	}
+}
+
+func TestWorstCasePermutationForErrors(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 3)
+	r, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorstCasePermutationFor(r, f.Ports(), topology.LinkID(99999)); err == nil {
+		t.Fatal("unloaded link accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCollectivesExperiment(t *testing.T) {
+	res, err := Collectives(2, 1, sim.Config{PacketFlits: 2, PacketsPerPair: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 12 {
+		t.Fatalf("hosts = %d", res.Hosts)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.Rows) != 2 {
+			t.Fatalf("%s: cells = %d", row.Workload, len(row.Rows))
+		}
+		nb := row.Rows[0]
+		if nb.Router != "paper-deterministic" {
+			t.Fatal("router order")
+		}
+		if nb.ContendedPhases != 0 {
+			t.Errorf("%s: nonblocking contended in %d phases", row.Workload, nb.ContendedPhases)
+		}
+		if nb.Slowdown > 1.6 {
+			t.Errorf("%s: nonblocking slowdown %.2f", row.Workload, nb.Slowdown)
+		}
+		dm := row.Rows[1]
+		if dm.TotalCycles < nb.TotalCycles {
+			t.Errorf("%s: dest-mod faster than nonblocking", row.Workload)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "contended phases") {
+		t.Error("render incomplete")
+	}
+}

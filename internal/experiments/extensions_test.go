@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestOnlineExperiment(t *testing.T) {
+	res, err := Online(2, 3, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[2]int]OnlineRow{}
+	for _, row := range res.Rows {
+		byKey[[2]int{row.M, int(row.Policy)}] = row
+	}
+	// m = 2n−1 = 3: strict-sense — nothing blocks.
+	ff3 := byKey[[2]int{3, 0}]
+	if ff3.AdversaryBlocked || ff3.RandomBlockFraction != 0 {
+		t.Fatalf("m=2n−1 blocked: %+v", ff3)
+	}
+	// m = 2n−2 = 2: the adversary blocks first-fit.
+	ff2 := byKey[[2]int{2, 0}]
+	if !ff2.AdversaryBlocked {
+		t.Fatalf("m=2n−2 adversary did not block: %+v", ff2)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "adversary blocks") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFaultExperiment(t *testing.T) {
+	// n = 8, r = 64: adaptive needs ⌈8/4⌉·3·8 = 48 < 64 = n², so it
+	// shrugs off spares+1 failures while the spared deterministic scheme
+	// dies exactly at spares+1.
+	res, err := Fault(8, 64, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // k = 0..spares+1
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.AdaptiveOK {
+			t.Errorf("adaptive failed at %d failures despite ample m", row.Failures)
+		}
+		if row.Failures <= res.Spares && !row.SparedOK {
+			t.Errorf("spared scheme failed within its spare budget at %d failures", row.Failures)
+		}
+		if row.Failures > res.Spares && row.SparedOK {
+			t.Errorf("spared scheme claimed success beyond its spares at %d failures", row.Failures)
+		}
+		if row.Failures > 0 && !row.NaiveBlocked {
+			t.Errorf("naive folding did not block at %d failures", row.Failures)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "naive folding blocks") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestLoadSweepExperiment(t *testing.T) {
+	res, err := LoadSweepExperiment(2, 5, []float64{0.2, 1.0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The nonblocking routing accepts full load; dest-mod saturates
+	// below it on the switch-shift pattern when collisions exist — at
+	// minimum its latency at load 1.0 must be at least the nonblocking
+	// routing's.
+	nb, dm := res.Rows[0], res.Rows[1]
+	if nb.Router != "paper-deterministic" {
+		t.Fatal("row order")
+	}
+	if nb.Points[1].AcceptedLoad < 0.9 {
+		t.Fatalf("nonblocking accepted %.2f at full load", nb.Points[1].AcceptedLoad)
+	}
+	if dm.Points[1].MeanLatency < nb.Points[1].MeanLatency {
+		t.Fatalf("dest-mod latency %.1f below nonblocking %.1f at full load",
+			dm.Points[1].MeanLatency, nb.Points[1].MeanLatency)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "accepted") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestInNetworkAdaptiveExperiment(t *testing.T) {
+	res, err := InNetworkAdaptive(2, 5, 5, 1, simCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]InNetworkRow{}
+	for _, row := range res.Rows {
+		byName[row.Scheme] = row
+	}
+	nb := byName["paper-deterministic"]
+	for name, row := range byName {
+		if row.MeanSlowdown < nb.MeanSlowdown-1e-9 {
+			t.Errorf("%s mean slowdown %.2f beats the nonblocking scheme %.2f", name, row.MeanSlowdown, nb.MeanSlowdown)
+		}
+	}
+	if byName["adapt-local"].MeanSlowdown > byName["dest-mod"].MeanSlowdown {
+		t.Errorf("adapt-local %.2f should not lose to dest-mod %.2f",
+			byName["adapt-local"].MeanSlowdown, byName["dest-mod"].MeanSlowdown)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "adapt-oracle") {
+		t.Error("render incomplete")
+	}
+}
+
+func simCfg() sim.Config {
+	return sim.Config{PacketFlits: 2, PacketsPerPair: 6}
+}
+
+func TestRandomModelExperiment(t *testing.T) {
+	res, err := RandomModel(2, 5, 150, []int{4, 16, 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	prevModel, prevMeas := -1.0, -1.0
+	for _, row := range res.Rows {
+		if row.Model < prevModel {
+			t.Error("model not monotone in m")
+		}
+		if row.Measured < prevMeas-0.1 {
+			t.Error("measurement grossly non-monotone")
+		}
+		if diff := row.Model - row.Measured; diff > 0.15 || diff < -0.15 {
+			t.Errorf("m=%d: model %.3f vs measured %.3f", row.M, row.Model, row.Measured)
+		}
+		prevModel, prevMeas = row.Model, row.Measured
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "birthday model") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestWorstCaseExperiment(t *testing.T) {
+	res, err := WorstCase(2, 5, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Router != "paper-deterministic" || res.Rows[0].ContendedLinks != 0 {
+		t.Fatalf("nonblocking row wrong: %+v", res.Rows[0])
+	}
+	foundContention := false
+	for _, row := range res.Rows[1:] {
+		if row.ContendedLinks > 0 {
+			foundContention = true
+		}
+	}
+	if !foundContention {
+		t.Fatal("adversary found no contention on any baseline")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "worst contended links") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestWorstLoadExperiment(t *testing.T) {
+	res, err := WorstLoad(2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Router != "paper-deterministic" || res.Rows[0].MaxLoad != 1 {
+		t.Fatalf("nonblocking row wrong: %+v", res.Rows[0])
+	}
+	for _, row := range res.Rows {
+		if row.WitnessLoad != row.MaxLoad {
+			t.Errorf("%s: witness %d != exact %d", row.Router, row.WitnessLoad, row.MaxLoad)
+		}
+		if row.Router != "paper-deterministic" && row.MaxLoad < 2 {
+			t.Errorf("%s: baseline should have worst-case load >= 2", row.Router)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "worst-case load (exact)") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestOversubExperiment(t *testing.T) {
+	res, err := Oversub(2, 6, 30, 1, sim.Config{PacketFlits: 2, PacketsPerPair: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var atN2, belowN2 *OversubRow
+	for i := range res.Rows {
+		r := &res.Rows[i]
+		if r.Router == "global-rearrangeable" {
+			if r.BlockFraction != 0 {
+				t.Errorf("centralized routing blocked at m=%d", r.M)
+			}
+			continue
+		}
+		if r.M == 4 {
+			atN2 = r
+		}
+		if r.M == 2 {
+			belowN2 = r
+		}
+	}
+	if atN2 == nil || belowN2 == nil {
+		t.Fatalf("rows missing: %+v", res.Rows)
+	}
+	if atN2.BlockFraction != 0 {
+		t.Errorf("m=n² deterministic blocked: %+v", atN2)
+	}
+	if belowN2.BlockFraction == 0 {
+		t.Errorf("m<n² deterministic should block: %+v", belowN2)
+	}
+	if belowN2.MeanSlowdown <= atN2.MeanSlowdown {
+		t.Errorf("oversubscribed slowdown %.2f not above provisioned %.2f",
+			belowN2.MeanSlowdown, atN2.MeanSlowdown)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "oversub") {
+		t.Error("render incomplete")
+	}
+}

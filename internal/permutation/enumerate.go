@@ -1,0 +1,97 @@
+package permutation
+
+// EnumerateFull calls yield with every full permutation of n endpoints,
+// stopping early if yield returns false. It reports whether the
+// enumeration ran to completion. The Permutation passed to yield is reused
+// between calls; clone it to retain. Uses Heap's algorithm, so n! patterns
+// are produced with O(1) work per step — practical for n ≤ 10.
+//
+// For deterministic routing, checking every full permutation suffices to
+// decide nonblocking behaviour: routes do not depend on the pattern, and
+// any contention in a partial permutation persists in each of its full
+// extensions. Adaptive routing additionally requires partial patterns,
+// covered by EnumerateSubsets.
+func EnumerateFull(n int, yield func(*Permutation) bool) bool {
+	p := Identity(n)
+	if n <= 1 {
+		return yield(p)
+	}
+	c := make([]int, n)
+	if !yield(p) {
+		return false
+	}
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				p.dst[0], p.dst[i] = p.dst[i], p.dst[0]
+			} else {
+				p.dst[c[i]], p.dst[i] = p.dst[i], p.dst[c[i]]
+			}
+			if !yield(p) {
+				return false
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+	return true
+}
+
+// CountFull returns n! as an int; it panics when the value would overflow,
+// guarding exhaustive sweeps against absurd sizes.
+func CountFull(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		nf := f * i
+		if nf/i != f {
+			panic("permutation: factorial overflow")
+		}
+		f = nf
+	}
+	return f
+}
+
+// EnumerateSubsets calls yield with every partial permutation of n
+// endpoints: every subset of sources, matched to every arrangement of
+// every same-sized subset of destinations. The count grows as
+// Σ_k C(n,k)² k!, so it is practical only for n ≤ 6. The Permutation
+// passed to yield is reused; clone to retain. Stops early when yield
+// returns false and reports whether enumeration completed.
+func EnumerateSubsets(n int, yield func(*Permutation) bool) bool {
+	p := New(n)
+	var rec func(s int) bool
+	rec = func(s int) bool {
+		if s == n {
+			return yield(p)
+		}
+		// Source s idle.
+		if !rec(s + 1) {
+			return false
+		}
+		// Source s sends to each free destination.
+		for d := 0; d < n; d++ {
+			taken := false
+			for s2 := 0; s2 < s; s2++ {
+				if p.dst[s2] == d {
+					taken = true
+					break
+				}
+			}
+			if taken {
+				continue
+			}
+			p.dst[s] = d
+			if !rec(s + 1) {
+				p.dst[s] = Unused
+				return false
+			}
+			p.dst[s] = Unused
+		}
+		return true
+	}
+	return rec(0)
+}

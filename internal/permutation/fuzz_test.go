@@ -1,0 +1,65 @@
+package permutation
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the pattern parser never panics, never accepts an
+// invalid permutation, and round-trips everything it accepts.
+func FuzzParse(f *testing.F) {
+	f.Add(8, "0->3 1->2")
+	f.Add(4, "0->1,2->3")
+	f.Add(2, "")
+	f.Add(3, "0->0")
+	f.Add(5, "4->0 0->4")
+	f.Add(6, "0->1 0->2")
+	f.Add(6, "a->b")
+	f.Add(1, "0->9")
+	f.Fuzz(func(t *testing.T, n int, s string) {
+		if n < 0 || n > 64 || len(s) > 256 {
+			t.Skip()
+		}
+		p, err := Parse(n, s)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted invalid pattern %q: %v", s, err)
+		}
+		// Round-trip through String.
+		q, err := Parse(n, p.String())
+		if err != nil {
+			if p.Size() == 0 && strings.Contains(p.String(), "empty") {
+				return // "(empty)" is a display form, not parse input
+			}
+			t.Fatalf("round trip of %q failed: %v", p.String(), err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip changed the pattern: %q vs %q", p, q)
+		}
+	})
+}
+
+// FuzzGenerators checks the structured generators always yield valid
+// patterns for any in-range parameters.
+func FuzzGenerators(f *testing.F) {
+	f.Add(3, 4, 2)
+	f.Add(1, 1, 0)
+	f.Add(4, 6, -3)
+	f.Fuzz(func(t *testing.T, n, r, k int) {
+		if n < 1 || n > 8 || r < 1 || r > 8 || k < -64 || k > 64 {
+			t.Skip()
+		}
+		for _, p := range []*Permutation{
+			Shift(n*r, k),
+			SwitchShift(n, r, k),
+			LocalRotate(n, r),
+			Neighbor(n * r),
+		} {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("generator produced invalid pattern: %v", err)
+			}
+		}
+	})
+}

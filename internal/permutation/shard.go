@@ -1,0 +1,43 @@
+package permutation
+
+// EnumerateFullPrefix calls yield with every full permutation of n
+// endpoints whose first source is fixed to send to dst0 — one shard of the
+// full enumeration, enabling parallel exhaustive sweeps: the n shards
+// dst0 = 0..n−1 partition the n! permutations into n independent batches
+// of (n−1)! patterns each. The Permutation passed to yield is reused;
+// clone to retain. Stops early when yield returns false and reports
+// whether the shard completed.
+func EnumerateFullPrefix(n, dst0 int, yield func(*Permutation) bool) bool {
+	if n <= 0 {
+		return true
+	}
+	if dst0 < 0 || dst0 >= n {
+		return true // empty shard
+	}
+	p := New(n)
+	p.dst[0] = dst0
+	used := make([]bool, n)
+	used[dst0] = true
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == n {
+			return yield(p)
+		}
+		for d := 0; d < n; d++ {
+			if used[d] {
+				continue
+			}
+			used[d] = true
+			p.dst[pos] = d
+			if !rec(pos + 1) {
+				used[d] = false
+				p.dst[pos] = Unused
+				return false
+			}
+			used[d] = false
+			p.dst[pos] = Unused
+		}
+		return true
+	}
+	return rec(1)
+}

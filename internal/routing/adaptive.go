@@ -1,0 +1,264 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/permutation"
+	"repro/internal/topology"
+)
+
+// NonblockingAdaptive implements algorithm NONBLOCKINGADAPTIVE (Fig. 4 of
+// the paper): local adaptive routing for ftree(n+m, r) that achieves
+// nonblocking communication with m = O(n^(2−1/(2(c+1)))) top-level
+// switches, where c is the smallest constant with r ≤ n^c.
+//
+// Bottom switches are numbered with c base-n digits s_{c−1}…s_0 and hosts
+// with an extra low-order digit p. Top-level switches are organized into
+// *configurations* of (c+1)·n switches, each split into c+1 *partitions*
+// of n switches. Partition 0 of a configuration routes SD pairs keyed on
+// the destination's local digit p; partition q ≥ 1 keys on
+// (s_{q−1} − p) mod n. Every partition's keying is a Class-DIFF scheme
+// (Lemma 4): two destinations in one switch always land on different top
+// switches, so pairs from different source switches never contend
+// (Lemma 3) and the algorithm only has to schedule pairs from the same
+// switch, which it does greedily — per configuration, repeatedly routing
+// the largest key-distinct subset on an unused partition (Lemma 5).
+type NonblockingAdaptive struct {
+	F *topology.FoldedClos
+	// C is the number of base-n digits used for switch numbers.
+	C int
+	// FirstFit, when set, replaces the greedy largest-subset partition
+	// choice (Fig. 4 line 7) with first-fit partition order — the
+	// ablation showing the greedy step is what achieves the Theorem-5
+	// bound.
+	FirstFit bool
+}
+
+// NewNonblockingAdaptive builds the router for f, deriving c as the
+// smallest integer with r ≤ n^c. It requires n ≥ 2 (with n = 1 every
+// bottom switch has a single host and the trivial m = 1 deterministic
+// routing is already nonblocking).
+func NewNonblockingAdaptive(f *topology.FoldedClos) (*NonblockingAdaptive, error) {
+	if f.N < 2 {
+		return nil, fmt.Errorf("routing: NONBLOCKINGADAPTIVE needs n >= 2 (n=1 is nonblocking with m=1 deterministically)")
+	}
+	c := 1
+	pw := f.N
+	for pw < f.R {
+		pw *= f.N
+		c++
+	}
+	return &NonblockingAdaptive{F: f, C: c}, nil
+}
+
+// Name returns "nonblocking-adaptive" (or its first-fit ablation name).
+func (r *NonblockingAdaptive) Name() string {
+	if r.FirstFit {
+		return "nonblocking-adaptive-firstfit"
+	}
+	return "nonblocking-adaptive"
+}
+
+// PartitionKey returns the §V key of destination host d under partition q:
+// q = 0 keys on the local digit p; q ≥ 1 keys on (s_{q−1} − p) mod n.
+// Within a partition, destinations with different keys may be routed
+// concurrently (they use different top switches); destinations sharing a
+// key must wait for another partition or configuration.
+func (r *NonblockingAdaptive) PartitionKey(q, d int) int {
+	n := r.F.N
+	p := d % n
+	if q == 0 {
+		return p
+	}
+	w := d / n
+	digit := w
+	for i := 1; i < q; i++ {
+		digit /= n
+	}
+	digit %= n
+	return ((digit-p)%n + n) % n
+}
+
+// topIndex maps (configuration, partition, key) to a physical top-level
+// switch index: configurations occupy consecutive blocks of (c+1)·n
+// switches — the merge step of Fig. 4 lines 14–16, where corresponding
+// partitions of every source switch's configuration share physical
+// switches (safe by Lemma 4).
+func (r *NonblockingAdaptive) topIndex(conf, q, key int) int {
+	n := r.F.N
+	return conf*(r.C+1)*n + q*n + key
+}
+
+// Plan runs the Fig. 4 scheduling and returns, for every SD pair, the top
+// switch index it would use (−1 for intra-switch pairs that bypass the top
+// level), along with the number of configurations consumed. Plan ignores
+// the physical m, so experiments can measure how many top switches any
+// permutation needs; Route enforces m.
+func (r *NonblockingAdaptive) Plan(p *permutation.Permutation) (tops []int, pairs []permutation.Pair, confs int, err error) {
+	if p.N() != r.F.Ports() {
+		return nil, nil, 0, fmt.Errorf("routing: pattern over %d endpoints, network has %d", p.N(), r.F.Ports())
+	}
+	pairs = p.Pairs()
+	tops = make([]int, len(pairs))
+	n := r.F.N
+
+	// Group cross-switch pairs by source switch (line 1).
+	bySrc := make(map[int][]int) // source switch -> indices into pairs
+	for i, pr := range pairs {
+		tops[i] = -1
+		if pr.Src != pr.Dst && pr.Src/n != pr.Dst/n {
+			v := pr.Src / n
+			bySrc[v] = append(bySrc[v], i)
+		}
+	}
+
+	maxConf := 0
+	for _, rem := range bySrc {
+		conf := 0
+		for len(rem) > 0 {
+			// Line 5: allocate a new configuration.
+			usedPart := make([]bool, r.C+1)
+			for len(rem) > 0 {
+				// Line 7: the largest key-distinct subset over unused
+				// partitions (or the first non-empty partition in the
+				// first-fit ablation).
+				bestQ, bestKeys := -1, map[int]int(nil)
+				for q := 0; q <= r.C; q++ {
+					if usedPart[q] {
+						continue
+					}
+					keys := make(map[int]int, len(rem))
+					for _, idx := range rem {
+						k := r.PartitionKey(q, pairs[idx].Dst)
+						if _, dup := keys[k]; !dup {
+							keys[k] = idx
+						}
+					}
+					if bestQ == -1 || len(keys) > len(bestKeys) {
+						bestQ, bestKeys = q, keys
+					}
+					if r.FirstFit {
+						break
+					}
+				}
+				if bestQ == -1 {
+					break // configuration exhausted (line 6)
+				}
+				// Lines 8–10: route the subset, mark partition used.
+				routed := make(map[int]bool, len(bestKeys))
+				for key, idx := range bestKeys {
+					tops[idx] = r.topIndex(conf, bestQ, key)
+					routed[idx] = true
+				}
+				usedPart[bestQ] = true
+				next := rem[:0]
+				for _, idx := range rem {
+					if !routed[idx] {
+						next = append(next, idx)
+					}
+				}
+				rem = next
+			}
+			conf++
+		}
+		if conf > maxConf {
+			maxConf = conf
+		}
+	}
+	return tops, pairs, maxConf, nil
+}
+
+// Route runs Plan and materializes paths, verifying that the physical
+// network has enough top-level switches: m ≥ confs·(c+1)·n.
+func (r *NonblockingAdaptive) Route(p *permutation.Permutation) (*Assignment, error) {
+	tops, pairs, confs, err := r.Plan(p)
+	if err != nil {
+		return nil, err
+	}
+	need := confs * (r.C + 1) * r.F.N
+	if need > r.F.M {
+		return nil, fmt.Errorf("routing: pattern needs %d top switches (%d configurations of %d), network has m=%d",
+			need, confs, (r.C+1)*r.F.N, r.F.M)
+	}
+	a := &Assignment{
+		Net:             r.F.Net,
+		Pairs:           pairs,
+		PathSets:        make([][]topology.Path, len(pairs)),
+		Configurations:  confs,
+		TopSwitchesUsed: need,
+	}
+	for i, pr := range pairs {
+		switch {
+		case pr.Src == pr.Dst:
+			a.PathSets[i] = selfPath(topology.NodeID(pr.Src))
+		case tops[i] < 0:
+			a.PathSets[i] = []topology.Path{r.F.RouteVia(topology.NodeID(pr.Src), topology.NodeID(pr.Dst), 0)}
+		default:
+			a.PathSets[i] = []topology.Path{r.F.RouteVia(topology.NodeID(pr.Src), topology.NodeID(pr.Dst), tops[i])}
+		}
+	}
+	return a, nil
+}
+
+// RequiredM reports how many top-level switches the algorithm needs for
+// pattern p: configurations·(c+1)·n.
+func (r *NonblockingAdaptive) RequiredM(p *permutation.Permutation) (int, error) {
+	_, _, confs, err := r.Plan(p)
+	if err != nil {
+		return 0, err
+	}
+	return confs * (r.C + 1) * r.F.N, nil
+}
+
+// GreedyLocal is the natural local adaptive baseline *without* the
+// Class-DIFF guarantee: each source switch assigns its pairs to its
+// least-used uplinks (ties toward lower top-switch indices), blind to what
+// other switches choose. It spreads load well but two switches may steer
+// pairs with different destinations in one switch through one top switch,
+// so it is not nonblocking — the contrast motivating Lemma 3.
+type GreedyLocal struct {
+	F *topology.FoldedClos
+}
+
+// NewGreedyLocal builds the baseline router.
+func NewGreedyLocal(f *topology.FoldedClos) *GreedyLocal { return &GreedyLocal{F: f} }
+
+// Name returns "greedy-local".
+func (r *GreedyLocal) Name() string { return "greedy-local" }
+
+// Route assigns, per source switch independently, each cross-switch pair
+// to the top switch whose uplink from this switch carries the fewest pairs
+// so far.
+func (r *GreedyLocal) Route(p *permutation.Permutation) (*Assignment, error) {
+	if p.N() != r.F.Ports() {
+		return nil, fmt.Errorf("routing: pattern over %d endpoints, network has %d", p.N(), r.F.Ports())
+	}
+	pairs := p.Pairs()
+	a := &Assignment{Net: r.F.Net, Pairs: pairs, PathSets: make([][]topology.Path, len(pairs))}
+	n := r.F.N
+	load := make(map[int][]int) // source switch -> per-top uplink load
+	for i, pr := range pairs {
+		switch {
+		case pr.Src == pr.Dst:
+			a.PathSets[i] = selfPath(topology.NodeID(pr.Src))
+		case pr.Src/n == pr.Dst/n:
+			a.PathSets[i] = []topology.Path{r.F.RouteVia(topology.NodeID(pr.Src), topology.NodeID(pr.Dst), 0)}
+		default:
+			v := pr.Src / n
+			ld := load[v]
+			if ld == nil {
+				ld = make([]int, r.F.M)
+				load[v] = ld
+			}
+			best := 0
+			for t := 1; t < r.F.M; t++ {
+				if ld[t] < ld[best] {
+					best = t
+				}
+			}
+			ld[best]++
+			a.PathSets[i] = []topology.Path{r.F.RouteVia(topology.NodeID(pr.Src), topology.NodeID(pr.Dst), best)}
+		}
+	}
+	return a, nil
+}

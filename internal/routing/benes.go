@@ -1,0 +1,204 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/permutation"
+	"repro/internal/topology"
+)
+
+// BenesLooping routes permutations on the Benes network B(k) with the
+// classic looping algorithm ([3]): at each recursion level the connections
+// are 2-colored by alternating walks so that the two connections entering
+// every input-stage switch use different sub-networks and the two leaving
+// every output-stage switch arrive from different sub-networks; each half
+// then recurses. The result is edge-disjoint paths for *any* permutation —
+// the constructive proof that m = n suffices for rearrangeable networks,
+// requiring exactly the global pattern knowledge the paper's
+// computer-communication model rules out.
+type BenesLooping struct {
+	B *topology.Benes
+}
+
+// NewBenesLooping builds the router.
+func NewBenesLooping(b *topology.Benes) *BenesLooping { return &BenesLooping{B: b} }
+
+// Name returns "benes-looping".
+func (r *BenesLooping) Name() string { return "benes-looping" }
+
+// Route assigns edge-disjoint paths: pattern sources are input terminals,
+// destinations output terminals. Partial permutations are completed
+// internally (idle inputs matched to idle outputs in order) so the
+// recursion always sees full permutations; only requested pairs are
+// returned.
+func (r *BenesLooping) Route(p *permutation.Permutation) (*Assignment, error) {
+	n := r.B.N
+	if p.N() != n {
+		return nil, fmt.Errorf("routing: pattern over %d endpoints, Benes has %d terminals", p.N(), n)
+	}
+	full := make([]int, n)
+	usedDst := make([]bool, n)
+	for i := range full {
+		full[i] = -1
+	}
+	for _, pr := range p.Pairs() {
+		full[pr.Src] = pr.Dst
+		usedDst[pr.Dst] = true
+	}
+	next := 0
+	for i := range full {
+		if full[i] == -1 {
+			for usedDst[next] {
+				next++
+			}
+			full[i] = next
+			usedDst[next] = true
+		}
+	}
+
+	lines, err := loopSolve(r.B.K, full)
+	if err != nil {
+		return nil, err
+	}
+
+	pairs := p.Pairs()
+	a := &Assignment{Net: r.B.Net, Pairs: pairs, PathSets: make([][]topology.Path, len(pairs))}
+	for idx, pr := range pairs {
+		nodes := make([]topology.NodeID, 0, r.B.Stages()+2)
+		nodes = append(nodes, r.B.InTerminal(pr.Src))
+		for s := 0; s < r.B.Stages(); s++ {
+			nodes = append(nodes, r.B.SwitchID(s, lines[pr.Src][s]/2))
+		}
+		nodes = append(nodes, r.B.OutTerminal(pr.Dst))
+		path, err := r.B.Net.PathBetween(nodes...)
+		if err != nil {
+			return nil, fmt.Errorf("routing: looping produced a broken path for %d->%d: %w", pr.Src, pr.Dst, err)
+		}
+		a.PathSets[idx] = []topology.Path{path}
+	}
+	return a, nil
+}
+
+// loopSolve routes the full permutation perm over 2^k terminals and
+// returns, for each connection i, the wire (line) it occupies entering
+// each of the 2k−1 stages, in the coordinates of this (sub-)instance.
+//
+// Recursion invariant (matching topology.Benes's wiring): sub-network
+// c ∈ {0, 1} of an instance occupying a line block corresponds to the
+// half-block [c·N/2, (c+1)·N/2), the stage-0 output wire (i/2)·2+c is
+// unshuffled to line c·N/2 + i/2, and the sub-instance's final output
+// wire c·N/2 + d is shuffled to line 2d + c of the last stage.
+func loopSolve(k int, perm []int) ([][]int, error) {
+	n := 1 << k
+	stages := 2*k - 1
+	res := make([][]int, n)
+	if k == 1 {
+		// One 2×2 switch: both connections enter on their input line.
+		for i := 0; i < n; i++ {
+			res[i] = []int{i}
+		}
+		return res, nil
+	}
+
+	color, err := loopColor(perm)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the two sub-permutations over input/output switch indices.
+	half := n / 2
+	subPerm := [2][]int{make([]int, half), make([]int, half)}
+	connAt := [2][]int{make([]int, half), make([]int, half)}
+	for i := 0; i < n; i++ {
+		c := color[i]
+		subPerm[c][i/2] = perm[i] / 2
+		connAt[c][i/2] = i
+	}
+	var subRes [2][][]int
+	for c := 0; c < 2; c++ {
+		sr, err := loopSolve(k-1, subPerm[c])
+		if err != nil {
+			return nil, err
+		}
+		subRes[c] = sr
+	}
+	for i := 0; i < n; i++ {
+		c := color[i]
+		a := i / 2
+		seq := make([]int, stages)
+		seq[0] = i
+		sub := subRes[c][a]
+		for s := 0; s < len(sub); s++ {
+			seq[1+s] = c*half + sub[s]
+		}
+		seq[stages-1] = (perm[i]/2)*2 + c
+		res[i] = seq
+	}
+	return res, nil
+}
+
+// loopColor 2-colors the connections of a full permutation so that input
+// partners (2a, 2a+1) and output partners (the two connections addressing
+// one output switch) always receive different colors — the looping walk.
+func loopColor(perm []int) ([]int, error) {
+	n := len(perm)
+	// outMate[i] is the connection sharing i's output switch.
+	byOutSwitch := make([][2]int, n/2)
+	fill := make([]int, n/2)
+	for i := 0; i < n; i++ {
+		sw := perm[i] / 2
+		byOutSwitch[sw][fill[sw]] = i
+		fill[sw]++
+	}
+	for sw, c := range fill {
+		if c != 2 {
+			return nil, fmt.Errorf("routing: output switch %d has %d connections; permutation not full", sw, c)
+		}
+	}
+	outMate := func(i int) int {
+		pair := byOutSwitch[perm[i]/2]
+		if pair[0] == i {
+			return pair[1]
+		}
+		return pair[0]
+	}
+
+	color := make([]int, n)
+	for i := range color {
+		color[i] = -1
+	}
+	for start := 0; start < n; start++ {
+		if color[start] != -1 {
+			continue
+		}
+		// Alternate: color i with c; its output mate gets 1−c; that
+		// mate's input partner gets c again; repeat until the cycle
+		// closes.
+		i, c := start, 0
+		for color[i] == -1 {
+			color[i] = c
+			j := outMate(i)
+			if color[j] == -1 {
+				color[j] = 1 - c
+			} else if color[j] != 1-c {
+				return nil, fmt.Errorf("routing: looping inconsistency at connection %d", j)
+			}
+			i = j ^ 1 // input partner of j
+		}
+		if color[i] != c {
+			return nil, fmt.Errorf("routing: looping cycle closed inconsistently at %d", i)
+		}
+	}
+	// Verify both constraint families (cheap and catches wiring bugs).
+	for a := 0; a < n/2; a++ {
+		if color[2*a] == color[2*a+1] {
+			return nil, fmt.Errorf("routing: input switch %d not split across sub-networks", a)
+		}
+	}
+	for sw := 0; sw < n/2; sw++ {
+		if color[byOutSwitch[sw][0]] == color[byOutSwitch[sw][1]] {
+			return nil, fmt.Errorf("routing: output switch %d not split across sub-networks", sw)
+		}
+	}
+	return color, nil
+}

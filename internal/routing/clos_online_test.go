@@ -1,0 +1,199 @@
+package routing_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestClosOnlineBasicLifecycle(t *testing.T) {
+	c := topology.NewClos(2, 3, 3)
+	o := routing.NewClosOnline(c, routing.FirstFit)
+	mid, err := o.Connect(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid != 0 {
+		t.Fatalf("first-fit should pick middle 0, got %d", mid)
+	}
+	if o.Active() != 1 {
+		t.Fatal("active count wrong")
+	}
+	p, err := o.PathOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid(c.Net) || p.Len() != 4 {
+		t.Fatalf("circuit path wrong: %+v", p)
+	}
+	// Busy terminals rejected.
+	if _, err := o.Connect(0, 4); err == nil {
+		t.Fatal("busy input accepted")
+	}
+	if _, err := o.Connect(1, 5); err == nil {
+		t.Fatal("busy output accepted")
+	}
+	if _, err := o.Connect(-1, 2); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if err := o.Disconnect(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Disconnect(0); err == nil {
+		t.Fatal("double disconnect accepted")
+	}
+	if _, err := o.PathOf(0); err == nil {
+		t.Fatal("path of idle terminal accepted")
+	}
+	// Same-switch circuits use distinct middles.
+	m1, _ := o.Connect(0, 0)
+	m2, err := o.Connect(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 {
+		t.Fatal("two circuits of one input switch share a middle")
+	}
+	o.Reset()
+	if o.Active() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestClosStrictSenseCondition(t *testing.T) {
+	// m = 2n−1: the classic adversary fails to block, and random
+	// setup/teardown churn never blocks (strict-sense, Clos 1953).
+	c := topology.NewClos(2, 3, 3)
+	if idx, err := routing.Replay(c, routing.FirstFit, routing.ClosAdversary()); err != nil || idx != -1 {
+		t.Fatalf("m=2n−1 blocked at %d (err %v)", idx, err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	o := routing.NewClosOnline(c, routing.FirstFit)
+	dst := make(map[int]int)
+	for step := 0; step < 20000; step++ {
+		s := rng.Intn(c.Ports())
+		if d, busy := dst[s]; busy {
+			_ = d
+			if err := o.Disconnect(s); err != nil {
+				t.Fatal(err)
+			}
+			delete(dst, s)
+			continue
+		}
+		// Pick an idle output terminal.
+		d := rng.Intn(c.Ports())
+		idle := true
+		for _, dd := range dst {
+			if dd == d {
+				idle = false
+				break
+			}
+		}
+		if !idle {
+			continue
+		}
+		if _, err := o.Connect(s, d); err != nil {
+			t.Fatalf("strict-sense network blocked at step %d: %v", step, err)
+		}
+		dst[s] = d
+	}
+}
+
+func TestClosAdversaryBlocksBelowStrictSense(t *testing.T) {
+	// m = 2n−2 = 2: the adversarial sequence blocks under first-fit.
+	c := topology.NewClos(2, 2, 3)
+	idx, err := routing.Replay(c, routing.FirstFit, routing.ClosAdversary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 4 {
+		t.Fatalf("expected blocking at event 4, got %d", idx)
+	}
+}
+
+func TestClosRearrangeableOfflineStillFitsPermutations(t *testing.T) {
+	// Online first-fit at m = n can block a permutation loaded in an
+	// unlucky order, while the offline edge-coloring router fits it —
+	// the rearrangeable vs wide/strict-sense separation.
+	c := topology.NewClos(2, 2, 3)
+	rng := rand.New(rand.NewSource(11))
+	blockedOnline := false
+	for trial := 0; trial < 500 && !blockedOnline; trial++ {
+		o := routing.NewClosOnline(c, routing.FirstFit)
+		perm := rng.Perm(c.Ports())
+		order := rng.Perm(c.Ports())
+		for _, s := range order {
+			if _, err := o.Connect(s, perm[s]); err != nil {
+				blockedOnline = true
+				break
+			}
+		}
+	}
+	if !blockedOnline {
+		t.Fatal("online first-fit at m=n never blocked a permutation in 500 trials; expected blocking")
+	}
+}
+
+func TestClosPoliciesDiffer(t *testing.T) {
+	c := topology.NewClos(2, 4, 4)
+	pack := routing.NewClosOnline(c, routing.Packing)
+	least := routing.NewClosOnline(c, routing.LeastLoaded)
+	// Two circuits from different switch pairs: packing reuses middle 0,
+	// least-loaded spreads to middle 1.
+	if m, _ := pack.Connect(0, 0); m != 0 {
+		t.Fatal("packing first circuit")
+	}
+	if m, _ := pack.Connect(2, 4); m != 0 {
+		t.Fatal("packing should reuse the busiest feasible middle")
+	}
+	if m, _ := least.Connect(0, 0); m != 0 {
+		t.Fatal("least-loaded first circuit")
+	}
+	if m, _ := least.Connect(2, 4); m != 1 {
+		t.Fatal("least-loaded should spread")
+	}
+	if routing.Packing.String() != "packing" || routing.FirstFit.String() != "first-fit" ||
+		routing.LeastLoaded.String() != "least-loaded" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestReplayRejectsMalformedSequences(t *testing.T) {
+	c := topology.NewClos(2, 3, 3)
+	// Disconnect of an idle terminal is malformed, not blocking.
+	if _, err := routing.Replay(c, routing.FirstFit, []routing.ClosEvent{{Connect: false, S: 0}}); err == nil {
+		t.Fatal("malformed teardown accepted")
+	}
+	// Connect to a busy output is malformed.
+	seq := []routing.ClosEvent{
+		{Connect: true, S: 0, D: 0},
+		{Connect: true, S: 1, D: 0},
+	}
+	if _, err := routing.Replay(c, routing.FirstFit, seq); err == nil {
+		t.Fatal("busy-output setup accepted")
+	}
+	// Connect from a busy input is malformed.
+	seq = []routing.ClosEvent{
+		{Connect: true, S: 0, D: 0},
+		{Connect: true, S: 0, D: 1},
+	}
+	if _, err := routing.Replay(c, routing.FirstFit, seq); err == nil {
+		t.Fatal("busy-input setup accepted")
+	}
+}
+
+func TestPackingSurvivesWhereFirstFitBlocks(t *testing.T) {
+	// On the specific adversarial sequence, packing at m = 2n−2 also
+	// blocks (the sequence forces the same state), confirming the
+	// sequence attacks the state, not the policy ordering.
+	c := topology.NewClos(2, 2, 3)
+	idx, err := routing.Replay(c, routing.Packing, routing.ClosAdversary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx == -1 {
+		t.Fatal("packing at m=2n−2 unexpectedly survived the adversary")
+	}
+}

@@ -1,0 +1,115 @@
+package routing_test
+
+import (
+	"testing"
+
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// FuzzEdgeColorBipartite checks the König coloring engine on arbitrary
+// bipartite multigraphs: it must always succeed within the max degree and
+// produce a proper coloring, or reject out-of-range edges.
+func FuzzEdgeColorBipartite(f *testing.F) {
+	f.Add(2, 2, []byte{0, 0, 1, 1, 0, 1, 1, 0})
+	f.Add(1, 1, []byte{0, 0, 0, 0, 0, 0})
+	f.Add(3, 2, []byte{})
+	f.Fuzz(func(t *testing.T, nl, nr int, raw []byte) {
+		if nl < 1 || nl > 8 || nr < 1 || nr > 8 || len(raw) > 64 {
+			t.Skip()
+		}
+		edges := make([][2]int, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, [2]int{int(raw[i]) % nl, int(raw[i+1]) % nr})
+		}
+		colors, err := routing.EdgeColorBipartite(nl, nr, edges)
+		if err != nil {
+			t.Fatalf("coloring failed on in-range input: %v", err)
+		}
+		deg := 0
+		dl := make([]int, nl)
+		dr := make([]int, nr)
+		for _, e := range edges {
+			dl[e[0]]++
+			dr[e[1]]++
+			if dl[e[0]] > deg {
+				deg = dl[e[0]]
+			}
+			if dr[e[1]] > deg {
+				deg = dr[e[1]]
+			}
+		}
+		usedL := map[[2]int]bool{}
+		usedR := map[[2]int]bool{}
+		for i, e := range edges {
+			c := colors[i]
+			if c < 0 || c >= deg {
+				t.Fatalf("edge %d color %d out of [0,%d)", i, c, deg)
+			}
+			if usedL[[2]int{e[0], c}] || usedR[[2]int{e[1], c}] {
+				t.Fatalf("improper coloring at edge %d", i)
+			}
+			usedL[[2]int{e[0], c}] = true
+			usedR[[2]int{e[1], c}] = true
+		}
+	})
+}
+
+// FuzzBenesLooping checks the looping algorithm on arbitrary destination
+// vectors: valid full permutations must route edge-disjointly.
+func FuzzBenesLooping(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{3, 2, 1, 0})
+	f.Add([]byte{1, 0, 3, 2, 5, 4, 7, 6})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Interpret raw as a permutation of size 4 or 8.
+		n := len(raw)
+		if n != 4 && n != 8 {
+			t.Skip()
+		}
+		seen := map[int]bool{}
+		dst := make([]int, n)
+		for i, b := range raw {
+			d := int(b) % n
+			if seen[d] {
+				t.Skip() // not a permutation
+			}
+			seen[d] = true
+			dst[i] = d
+		}
+		k := 2
+		if n == 8 {
+			k = 3
+		}
+		b := topoBenes(k)
+		r := routing.NewBenesLooping(b)
+		p := permFromDsts(t, dst)
+		a, err := r.Route(p)
+		if err != nil {
+			t.Fatalf("looping failed on %v: %v", dst, err)
+		}
+		// Edge-disjointness: no link appears in two paths.
+		used := map[int32]bool{}
+		for i := range a.Pairs {
+			for _, l := range a.Path(i).Links {
+				if used[int32(l)] {
+					t.Fatalf("link %d reused for %v", l, dst)
+				}
+				used[int32(l)] = true
+			}
+		}
+	})
+}
+
+// topoBenes and permFromDsts are tiny fuzz helpers.
+func topoBenes(k int) *topology.Benes { return topology.NewBenes(k) }
+
+func permFromDsts(t *testing.T, dst []int) *permutation.Permutation {
+	t.Helper()
+	p, err := permutation.FromDsts(dst)
+	if err != nil {
+		t.Skip()
+	}
+	return p
+}

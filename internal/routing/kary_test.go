@@ -1,0 +1,98 @@
+package routing_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestKAryDestModPathsValid(t *testing.T) {
+	for _, c := range [][2]int{{2, 3}, {3, 2}, {3, 3}} {
+		tr := topology.NewKAryNTree(c[0], c[1])
+		r := routing.NewKAryDestMod(tr)
+		for s := 0; s < tr.Hosts(); s++ {
+			for d := 0; d < tr.Hosts(); d++ {
+				p, err := r.PathFor(s, d)
+				if err != nil {
+					t.Fatalf("%d-ary %d-tree %d->%d: %v", c[0], c[1], s, d, err)
+				}
+				if s == d {
+					if p.Len() != 0 {
+						t.Fatal("self path should be linkless")
+					}
+					continue
+				}
+				if !p.Valid(tr.Net) {
+					t.Fatalf("invalid path %d->%d", s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestKAryDestModBlocksButRoutes(t *testing.T) {
+	tr := topology.NewKAryNTree(2, 3)
+	r := routing.NewKAryDestMod(tr)
+	frac, load, err := analysis.BlockingProbability(r, tr.Hosts(), 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.3 || load <= 1 {
+		t.Fatalf("static routing on a k-ary n-tree should block often: frac=%.2f load=%.2f", frac, load)
+	}
+	a, err := r.Route(permutation.Shift(tr.Hosts(), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.PathFor(-1, 2); err == nil {
+		t.Fatal("range check missing")
+	}
+	if r.Name() != "kary-dest-mod" {
+		t.Fatal("name")
+	}
+}
+
+func TestKAryRandomFixedReproducible(t *testing.T) {
+	tr := topology.NewKAryNTree(3, 2)
+	r1 := routing.NewKAryRandomFixed(tr, 5)
+	r2 := routing.NewKAryRandomFixed(tr, 5)
+	for s := 0; s < tr.Hosts(); s++ {
+		for d := 0; d < tr.Hosts(); d++ {
+			p1, err1 := r1.PathFor(s, d)
+			p2, err2 := r2.PathFor(s, d)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if len(p1.Nodes) != len(p2.Nodes) {
+				t.Fatal("nondeterministic")
+			}
+			for i := range p1.Nodes {
+				if p1.Nodes[i] != p2.Nodes[i] {
+					t.Fatal("same seed produced different paths")
+				}
+			}
+		}
+	}
+	a, err := r1.Route(permutation.Neighbor(tr.Hosts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.PathFor(0, 99); err == nil {
+		t.Fatal("range check missing")
+	}
+	if p, err := r1.PathFor(4, 4); err != nil || p.Len() != 0 {
+		t.Fatal("self pair wrong")
+	}
+	if r1.Name() != "kary-random-fixed" {
+		t.Fatal("name")
+	}
+}

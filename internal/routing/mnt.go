@@ -1,0 +1,286 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/permutation"
+	"repro/internal/topology"
+)
+
+// MNTDestMod is static destination-keyed up*/down* routing for the m-port
+// n-tree FT(m, n): at every up hop the freed digit is taken from the
+// destination address (the d-mod-k family used by InfiniBand fat-tree
+// subnet managers [12]). Deterministic and pattern-oblivious — the routing
+// whose blocking behaviour on rearrangeably-nonblocking fat-trees
+// motivates the paper ([5], [7]).
+type MNTDestMod struct {
+	T *topology.MPortNTree
+}
+
+// NewMNTDestMod builds the router.
+func NewMNTDestMod(t *topology.MPortNTree) *MNTDestMod { return &MNTDestMod{T: t} }
+
+// Name returns "mnt-dest-mod".
+func (r *MNTDestMod) Name() string { return "mnt-dest-mod" }
+
+// PathFor routes (src, dst) with up-hop choices derived from the
+// destination host index: choice at up hop l is digit l of dst in base k.
+func (r *MNTDestMod) PathFor(src, dst int) (topology.Path, error) {
+	if src == dst {
+		return topology.Path{Nodes: []topology.NodeID{topology.NodeID(src)}}, nil
+	}
+	s, d := topology.NodeID(src), topology.NodeID(dst)
+	hops := r.T.NumUpHops(s, d)
+	choices := make([]int, hops)
+	x := dst
+	for l := 0; l < hops; l++ {
+		choices[l] = x % r.T.K
+		x /= r.T.K
+	}
+	return r.T.UpDownPath(s, d, choices)
+}
+
+// Route assigns a path to every SD pair of the pattern.
+func (r *MNTDestMod) Route(p *permutation.Permutation) (*Assignment, error) {
+	return routePairwise(r.T.Net, p, func(s, d int) ([]topology.Path, error) {
+		path, err := r.PathFor(s, d)
+		if err != nil {
+			return nil, err
+		}
+		return []topology.Path{path}, nil
+	})
+}
+
+// MNTRandomFixed is static routing with a uniformly random but fixed
+// up-path per SD pair — randomized oblivious routing [6] frozen into a
+// deterministic assignment, reproducible per seed.
+type MNTRandomFixed struct {
+	T    *topology.MPortNTree
+	seed int64
+}
+
+// NewMNTRandomFixed builds the router.
+func NewMNTRandomFixed(t *topology.MPortNTree, seed int64) *MNTRandomFixed {
+	return &MNTRandomFixed{T: t, seed: seed}
+}
+
+// Name returns "mnt-random-fixed".
+func (r *MNTRandomFixed) Name() string { return "mnt-random-fixed" }
+
+// PathFor routes (src, dst) over the up-path whose digit choices are drawn
+// from a per-pair seeded generator.
+func (r *MNTRandomFixed) PathFor(src, dst int) (topology.Path, error) {
+	if src == dst {
+		return topology.Path{Nodes: []topology.NodeID{topology.NodeID(src)}}, nil
+	}
+	s, d := topology.NodeID(src), topology.NodeID(dst)
+	hops := r.T.NumUpHops(s, d)
+	rng := rand.New(rand.NewSource(r.seed ^ int64(src)<<20 ^ int64(dst)))
+	choices := make([]int, hops)
+	for l := range choices {
+		choices[l] = rng.Intn(r.T.K)
+	}
+	return r.T.UpDownPath(s, d, choices)
+}
+
+// Route assigns a path to every SD pair of the pattern.
+func (r *MNTRandomFixed) Route(p *permutation.Permutation) (*Assignment, error) {
+	return routePairwise(r.T.Net, p, func(s, d int) ([]topology.Path, error) {
+		path, err := r.PathFor(s, d)
+		if err != nil {
+			return nil, err
+		}
+		return []topology.Path{path}, nil
+	})
+}
+
+// MNTSpray is traffic-oblivious multipath on FT(m, n): each pair may use
+// Width sampled up-paths (all distinct digit choices when Width covers the
+// full diversity). Packets spray over the set per-packet in the simulator.
+type MNTSpray struct {
+	T *topology.MPortNTree
+	// Width caps the number of paths per pair.
+	Width int
+	seed  int64
+}
+
+// NewMNTSpray builds the router; width ≥ 1.
+func NewMNTSpray(t *topology.MPortNTree, width int, seed int64) (*MNTSpray, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("routing: spray width %d < 1", width)
+	}
+	return &MNTSpray{T: t, Width: width, seed: seed}, nil
+}
+
+// Name returns "mnt-spray-<width>".
+func (r *MNTSpray) Name() string { return fmt.Sprintf("mnt-spray-%d", r.Width) }
+
+// PathsFor returns the pair's path set: every distinct up-digit choice
+// when the diversity k^hops ≤ Width, otherwise Width distinct sampled
+// choices.
+func (r *MNTSpray) PathsFor(src, dst int) ([]topology.Path, error) {
+	if src == dst {
+		return selfPath(topology.NodeID(src)), nil
+	}
+	s, d := topology.NodeID(src), topology.NodeID(dst)
+	hops := r.T.NumUpHops(s, d)
+	k := r.T.K
+	total := 1
+	for i := 0; i < hops; i++ {
+		total *= k
+	}
+	var paths []topology.Path
+	if total <= r.Width {
+		choices := make([]int, hops)
+		for code := 0; code < total; code++ {
+			x := code
+			for l := 0; l < hops; l++ {
+				choices[l] = x % k
+				x /= k
+			}
+			p, err := r.T.UpDownPath(s, d, choices)
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, p)
+		}
+		return paths, nil
+	}
+	rng := rand.New(rand.NewSource(r.seed ^ int64(src)<<20 ^ int64(dst)))
+	seen := map[int]bool{}
+	for len(paths) < r.Width {
+		code := rng.Intn(total)
+		if seen[code] {
+			continue
+		}
+		seen[code] = true
+		choices := make([]int, hops)
+		x := code
+		for l := 0; l < hops; l++ {
+			choices[l] = x % k
+			x /= k
+		}
+		p, err := r.T.UpDownPath(s, d, choices)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// Route assigns the full path set to every SD pair.
+func (r *MNTSpray) Route(p *permutation.Permutation) (*Assignment, error) {
+	return routePairwise(r.T.Net, p, r.PathsFor)
+}
+
+// ThreeLevelPaper wraps the recursive Theorem-3 routing of the three-level
+// nonblocking construction (Discussion §IV.A): the outer level picks
+// virtual top network (i, j), the inner level re-applies the same rule to
+// the virtual switch's port numbers.
+type ThreeLevelPaper struct {
+	T *topology.ThreeLevelFtree
+}
+
+// NewThreeLevelPaper builds the router.
+func NewThreeLevelPaper(t *topology.ThreeLevelFtree) *ThreeLevelPaper {
+	return &ThreeLevelPaper{T: t}
+}
+
+// Name returns "paper-three-level".
+func (r *ThreeLevelPaper) Name() string { return "paper-three-level" }
+
+// PathFor routes one SD pair through the recursive construction.
+func (r *ThreeLevelPaper) PathFor(src, dst int) (topology.Path, error) {
+	if src < 0 || src >= r.T.Ports() || dst < 0 || dst >= r.T.Ports() {
+		return topology.Path{}, fmt.Errorf("host index out of range: %d or %d", src, dst)
+	}
+	if src == dst {
+		return topology.Path{Nodes: []topology.NodeID{topology.NodeID(src)}}, nil
+	}
+	return r.T.Route(topology.NodeID(src), topology.NodeID(dst)), nil
+}
+
+// Route assigns a path to every SD pair of the pattern.
+func (r *ThreeLevelPaper) Route(p *permutation.Permutation) (*Assignment, error) {
+	return routePairwise(r.T.Net, p, func(s, d int) ([]topology.Path, error) {
+		path, err := r.PathFor(s, d)
+		if err != nil {
+			return nil, err
+		}
+		return []topology.Path{path}, nil
+	})
+}
+
+// MultiLevelPaper wraps the recursive Theorem-3 routing of the generic
+// L-level nonblocking construction (topology.MultiFtree): at every level
+// the virtual top network (i, j) is selected from the port numbers' local
+// digits, recursively down to physical switches.
+type MultiLevelPaper struct {
+	T *topology.MultiFtree
+}
+
+// NewMultiLevelPaper builds the router.
+func NewMultiLevelPaper(t *topology.MultiFtree) *MultiLevelPaper {
+	return &MultiLevelPaper{T: t}
+}
+
+// Name returns "paper-multi-level".
+func (r *MultiLevelPaper) Name() string { return "paper-multi-level" }
+
+// PathFor routes one SD pair through the recursive construction.
+func (r *MultiLevelPaper) PathFor(src, dst int) (topology.Path, error) {
+	if src < 0 || src >= r.T.Ports() || dst < 0 || dst >= r.T.Ports() {
+		return topology.Path{}, fmt.Errorf("host index out of range: %d or %d", src, dst)
+	}
+	if src == dst {
+		return topology.Path{Nodes: []topology.NodeID{topology.NodeID(src)}}, nil
+	}
+	return r.T.Route(topology.NodeID(src), topology.NodeID(dst)), nil
+}
+
+// Route assigns a path to every SD pair of the pattern.
+func (r *MultiLevelPaper) Route(p *permutation.Permutation) (*Assignment, error) {
+	return routePairwise(r.T.Net, p, func(s, d int) ([]topology.Path, error) {
+		path, err := r.PathFor(s, d)
+		if err != nil {
+			return nil, err
+		}
+		return []topology.Path{path}, nil
+	})
+}
+
+// CrossbarRouter routes on the reference crossbar: every pair crosses the
+// single switch and never contends with any other pair of a permutation.
+type CrossbarRouter struct {
+	X *topology.Crossbar
+}
+
+// NewCrossbarRouter builds the router.
+func NewCrossbarRouter(x *topology.Crossbar) *CrossbarRouter { return &CrossbarRouter{X: x} }
+
+// Name returns "crossbar".
+func (r *CrossbarRouter) Name() string { return "crossbar" }
+
+// PathFor routes one pair through the crossbar.
+func (r *CrossbarRouter) PathFor(src, dst int) (topology.Path, error) {
+	if src < 0 || src >= r.X.N || dst < 0 || dst >= r.X.N {
+		return topology.Path{}, fmt.Errorf("host index out of range: %d or %d", src, dst)
+	}
+	if src == dst {
+		return topology.Path{Nodes: []topology.NodeID{topology.NodeID(src)}}, nil
+	}
+	return r.X.Route(src, dst), nil
+}
+
+// Route assigns a path to every SD pair of the pattern.
+func (r *CrossbarRouter) Route(p *permutation.Permutation) (*Assignment, error) {
+	return routePairwise(r.X.Net, p, func(s, d int) ([]topology.Path, error) {
+		path, err := r.PathFor(s, d)
+		if err != nil {
+			return nil, err
+		}
+		return []topology.Path{path}, nil
+	})
+}

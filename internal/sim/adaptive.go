@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/permutation"
+	"repro/internal/topology"
+)
+
+// In-network per-packet adaptive routing on the two-level folded-Clos —
+// the switch-level adaptivity of the related work ([1], [9]): each packet
+// picks its top-level switch when it reaches its source's bottom switch,
+// based on congestion visible at that moment. Two information models:
+//
+//   - AdaptLocal: the bottom switch sees only its own uplink occupancy
+//     (realizable in hardware). Uplink collisions vanish; downlink
+//     collisions — two switches converging on one destination switch via
+//     one top switch — remain, so the scheme is *not* nonblocking.
+//   - AdaptOracle: the choice also sees the remote downlink occupancy
+//     (an idealized global-snapshot router). Better, but still greedy and
+//     still beatable — unlike NONBLOCKINGADAPTIVE, which coordinates a
+//     whole switch's pattern and is provably clean.
+//
+// This is the simulation-level counterpart of the paper's §V argument:
+// adaptivity helps in proportion to the information it uses.
+
+// AdaptMode selects the congestion information available to the choice.
+type AdaptMode uint8
+
+const (
+	// AdaptLocal uses the source switch's uplink state only.
+	AdaptLocal AdaptMode = iota
+	// AdaptOracle additionally uses the destination-side downlink state.
+	AdaptOracle
+)
+
+// String names the mode.
+func (m AdaptMode) String() string {
+	switch m {
+	case AdaptLocal:
+		return "adapt-local"
+	case AdaptOracle:
+		return "adapt-oracle"
+	default:
+		return fmt.Sprintf("AdaptMode(%d)", uint8(m))
+	}
+}
+
+// adaptPacket is one packet routed adaptively.
+type adaptPacket struct {
+	flow int
+	idx  int
+	// stage: 0 = before host uplink, 1 = at source bottom switch,
+	// 2 = at top switch, 3 = at destination bottom switch, 4 = delivered.
+	stage int
+	top   int // chosen top switch, set at stage 1
+}
+
+// RunFtreeAdaptive simulates the permutation on f with per-packet adaptive
+// trunk selection. Intra-switch and self pairs short-circuit as usual.
+func RunFtreeAdaptive(f *topology.FoldedClos, p *permutation.Permutation, cfg Config, mode AdaptMode) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if p.N() != f.Ports() {
+		return nil, fmt.Errorf("sim: pattern over %d endpoints, network has %d", p.N(), f.Ports())
+	}
+	pairs := p.Pairs()
+	L := int64(cfg.PacketFlits)
+	res := &Result{
+		FlowFinish: make([]int64, len(pairs)),
+		LinkBusy:   make(map[topology.LinkID]int64),
+	}
+
+	linkFreeAt := make(map[topology.LinkID]int64)
+	queues := make(map[topology.LinkID][]*adaptPacket)
+	rrLast := make(map[topology.LinkID]int)
+	var events eventHeap
+	var seq int64
+	push := func(t int64, linkFree bool, link topology.LinkID, pkt *adaptPacket) {
+		e := &event{time: t, isLinkFree: linkFree, link: link, adapt: pkt, seq: seq}
+		seq++
+		heap.Push(&events, e)
+	}
+
+	deliver := func(pkt *adaptPacket, now int64) {
+		res.Delivered++
+		res.SumLatency += now
+		if now > res.Makespan {
+			res.Makespan = now
+		}
+		if now > res.FlowFinish[pkt.flow] {
+			res.FlowFinish[pkt.flow] = now
+		}
+	}
+
+	// linkOf maps a packet's current stage to its next link.
+	linkOf := func(pkt *adaptPacket) topology.LinkID {
+		pr := pairs[pkt.flow]
+		sv, sk := pr.Src/f.N, pr.Src%f.N
+		dv, dk := pr.Dst/f.N, pr.Dst%f.N
+		switch pkt.stage {
+		case 0:
+			return f.HostUpLink(sv, sk)
+		case 1:
+			return f.UpLink(sv, pkt.top)
+		case 2:
+			return f.DownLink(pkt.top, dv)
+		case 3:
+			return f.HostDownLink(dv, dk)
+		}
+		panic("sim: bad stage")
+	}
+
+	// Inject.
+	for fi, pr := range pairs {
+		for k := 0; k < cfg.PacketsPerPair; k++ {
+			res.TotalPackets++
+			pkt := &adaptPacket{flow: fi, idx: k}
+			if pr.Src == pr.Dst {
+				deliver(pkt, 0)
+				continue
+			}
+			push(0, false, 0, pkt)
+		}
+	}
+
+	start := func(l topology.LinkID, now int64) {
+		if linkFreeAt[l] > now {
+			return
+		}
+		q := queues[l]
+		if len(q) == 0 {
+			return
+		}
+		best := 0
+		switch cfg.Arbiter {
+		case OldestFirst:
+			for i := 1; i < len(q); i++ {
+				if q[i].flow < q[best].flow || (q[i].flow == q[best].flow && q[i].idx < q[best].idx) {
+					best = i
+				}
+			}
+		case RoundRobin:
+			last := rrLast[l]
+			bestKey := 1 << 30
+			for i, pk := range q {
+				key := pk.flow - last - 1
+				if key < 0 {
+					key += 1 << 20
+				}
+				if key < bestKey {
+					bestKey = key
+					best = i
+				}
+			}
+		}
+		pk := q[best]
+		queues[l] = append(q[:best], q[best+1:]...)
+		rrLast[l] = pk.flow
+		linkFreeAt[l] = now + L
+		res.LinkBusy[l] += L
+		pk.stage++
+		push(now+L, false, 0, pk)
+		push(now+L, true, l, nil)
+	}
+
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(*event)
+		if e.time > cfg.MaxCycles {
+			res.Aborted = true
+			break
+		}
+		if e.isLinkFree {
+			start(e.link, e.time)
+			continue
+		}
+		pkt := e.adapt
+		pr := pairs[pkt.flow]
+		sv := pr.Src / f.N
+		dv := pr.Dst / f.N
+		if sv == dv && pkt.stage == 1 {
+			// Intra-switch pair: bottom switch forwards straight down.
+			pkt.stage = 3
+		}
+		if pkt.stage == 4 {
+			deliver(pkt, e.time)
+			continue
+		}
+		if pkt.stage == 1 && sv != dv {
+			// The adaptive decision: pick the top switch whose relevant
+			// links free earliest (ties toward lower index rotated by
+			// packet idx to avoid herding).
+			bestT, bestCost := 0, int64(1<<62)
+			for off := 0; off < f.M; off++ {
+				t := (off + pkt.idx) % f.M
+				cost := linkFreeAt[f.UpLink(sv, t)] + int64(len(queues[f.UpLink(sv, t)]))*L
+				if mode == AdaptOracle {
+					dc := linkFreeAt[f.DownLink(t, dv)] + int64(len(queues[f.DownLink(t, dv)]))*L
+					if dc > cost {
+						cost = dc
+					}
+				}
+				if cost < bestCost {
+					bestCost, bestT = cost, t
+				}
+			}
+			pkt.top = bestT
+		}
+		l := linkOf(pkt)
+		queues[l] = append(queues[l], pkt)
+		start(l, e.time)
+	}
+	return res, nil
+}
+
+// RunFtreeAdaptivePermutation is a convenience wrapper validating the
+// pattern first.
+func RunFtreeAdaptivePermutation(f *topology.FoldedClos, p *permutation.Permutation, cfg Config, mode AdaptMode) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return RunFtreeAdaptive(f, p, cfg, mode)
+}

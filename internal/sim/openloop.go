@@ -1,0 +1,427 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// OpenLoopConfig parameterizes an open-loop (rate-injected) simulation:
+// every host injects packets to a fixed destination (a permutation's
+// partner) as a Bernoulli process of the given rate, the classic
+// offered-load/latency methodology of the adaptive-routing literature the
+// paper cites ([9], [15]).
+type OpenLoopConfig struct {
+	// PacketFlits is the packet length L in flits.
+	PacketFlits int
+	// Rate is the injection probability per host per packet slot
+	// (0 < Rate ≤ 1), i.e. offered load as a fraction of link capacity.
+	Rate float64
+	// WarmupPackets are injected but excluded from latency statistics.
+	WarmupPackets int
+	// MeasuredPackets are the packets per host that enter the statistics.
+	MeasuredPackets int
+	// Seed drives the injection process (and random multipath choice).
+	Seed int64
+	// Arbiter is the per-link scheduling policy.
+	Arbiter Arbiter
+	// MaxCycles aborts a saturated run; 0 means 5·10⁷.
+	MaxCycles int64
+}
+
+func (c *OpenLoopConfig) normalize() error {
+	if c.PacketFlits <= 0 {
+		return fmt.Errorf("sim: PacketFlits must be positive")
+	}
+	if c.Rate <= 0 || c.Rate > 1 {
+		return fmt.Errorf("sim: Rate must be in (0, 1]")
+	}
+	if c.MeasuredPackets <= 0 {
+		return fmt.Errorf("sim: MeasuredPackets must be positive")
+	}
+	if c.WarmupPackets < 0 {
+		return fmt.Errorf("sim: WarmupPackets must be non-negative")
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 50_000_000
+	}
+	return nil
+}
+
+// OpenLoopResult summarizes an open-loop run.
+type OpenLoopResult struct {
+	// OfferedLoad is the configured injection rate.
+	OfferedLoad float64
+	// AcceptedLoad is the measured delivery rate: delivered flits per
+	// host per cycle over the measurement window. Saturation shows as
+	// AcceptedLoad < OfferedLoad.
+	AcceptedLoad float64
+	// MeanLatency is the mean packet latency (injection to delivery) of
+	// measured packets, in cycles.
+	MeanLatency float64
+	// P99Latency approximates the 99th-percentile latency.
+	P99Latency int64
+	// Delivered counts measured packets delivered.
+	Delivered int
+	// Saturated is set when the run aborted at MaxCycles with packets
+	// outstanding.
+	Saturated bool
+}
+
+// openPacket tracks one open-loop packet.
+type openPacket struct {
+	flow     int
+	injected int64
+	measured bool
+	hop      int
+	path     topology.Path
+}
+
+// OpenLoop simulates Bernoulli packet injection for the SD pairs of a full
+// permutation: host s sends to perm[s] at the configured rate. pathsFor
+// returns the candidate paths of a pair; one is chosen uniformly per
+// packet (single-path routers return one).
+func OpenLoop(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]topology.Path, error), cfg OpenLoopConfig) (*OpenLoopResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	L := int64(cfg.PacketFlits)
+
+	// Pre-resolve path sets.
+	pathSets := make([][]topology.Path, len(pairs))
+	for i, pr := range pairs {
+		ps, err := pathsFor(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("sim: pair %v has no paths", pr)
+		}
+		for _, p := range ps {
+			if !p.Valid(net) {
+				return nil, fmt.Errorf("sim: pair %v has an invalid path", pr)
+			}
+		}
+		pathSets[i] = ps
+	}
+
+	totalPerFlow := cfg.WarmupPackets + cfg.MeasuredPackets
+	// Pre-draw injection times: a Bernoulli(rate) process per packet slot
+	// of width L cycles approximates rate·capacity offered load.
+	injections := make([][]int64, len(pairs))
+	for i := range pairs {
+		times := make([]int64, 0, totalPerFlow)
+		var t int64
+		for len(times) < totalPerFlow {
+			if rng.Float64() < cfg.Rate {
+				times = append(times, t)
+			}
+			t += L
+		}
+		injections[i] = times
+	}
+
+	// Cycle-accurate queueing: reuse the closed-loop engine's semantics
+	// with per-packet release times. Implemented directly here with a
+	// simple time-ordered event loop.
+	type ev struct {
+		time       int64
+		isLinkFree bool
+		link       topology.LinkID
+		pkt        *openPacket
+		seq        int64
+	}
+	var events []*ev
+	var seq int64
+	push := func(e *ev) {
+		e.seq = seq
+		seq++
+		events = append(events, e)
+		// Sift up (binary heap by (time, !isLinkFree, seq)).
+		i := len(events) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if less(events[i].time, events[i].isLinkFree, events[i].seq,
+				events[p].time, events[p].isLinkFree, events[p].seq) {
+				events[i], events[p] = events[p], events[i]
+				i = p
+			} else {
+				break
+			}
+		}
+	}
+	pop := func() *ev {
+		top := events[0]
+		last := len(events) - 1
+		events[0] = events[last]
+		events = events[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(events) && less(events[l].time, events[l].isLinkFree, events[l].seq,
+				events[m].time, events[m].isLinkFree, events[m].seq) {
+				m = l
+			}
+			if r < len(events) && less(events[r].time, events[r].isLinkFree, events[r].seq,
+				events[m].time, events[m].isLinkFree, events[m].seq) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			events[i], events[m] = events[m], events[i]
+			i = m
+		}
+		return top
+	}
+
+	res := &OpenLoopResult{OfferedLoad: cfg.Rate}
+	queues := make(map[topology.LinkID][]*openPacket)
+	linkFreeAt := make(map[topology.LinkID]int64)
+	rrLast := make(map[topology.LinkID]int)
+	var latencies []int64
+	var firstMeasuredInjection, lastDelivery int64 = -1, 0
+
+	for fi := range pairs {
+		for k, t := range injections[fi] {
+			measured := k >= cfg.WarmupPackets
+			if measured && (firstMeasuredInjection == -1 || t < firstMeasuredInjection) {
+				firstMeasuredInjection = t
+			}
+			p := &openPacket{flow: fi, injected: t, measured: measured}
+			p.path = pathSets[fi][rng.Intn(len(pathSets[fi]))]
+			if p.path.Len() == 0 {
+				if measured {
+					latencies = append(latencies, 0)
+					res.Delivered++
+				}
+				continue
+			}
+			push(&ev{time: t, pkt: p})
+		}
+	}
+
+	outstanding := 0
+	for _, inj := range injections {
+		outstanding += len(inj)
+	}
+
+	start := func(l topology.LinkID, now int64) {
+		if linkFreeAt[l] > now {
+			return
+		}
+		q := queues[l]
+		if len(q) == 0 {
+			return
+		}
+		best := 0
+		switch cfg.Arbiter {
+		case OldestFirst:
+			for i := 1; i < len(q); i++ {
+				if q[i].injected < q[best].injected ||
+					(q[i].injected == q[best].injected && q[i].flow < q[best].flow) {
+					best = i
+				}
+			}
+		case RoundRobin:
+			last := rrLast[l]
+			bestKey := 1 << 30
+			for i, p := range q {
+				key := p.flow - last - 1
+				if key < 0 {
+					key += 1 << 20
+				}
+				if key < bestKey {
+					bestKey = key
+					best = i
+				}
+			}
+		}
+		p := q[best]
+		queues[l] = append(q[:best], q[best+1:]...)
+		rrLast[l] = p.flow
+		linkFreeAt[l] = now + L
+		p.hop++
+		push(&ev{time: now + L, pkt: p})
+		push(&ev{time: now + L, isLinkFree: true, link: l})
+	}
+
+	for len(events) > 0 {
+		e := pop()
+		if e.time > cfg.MaxCycles {
+			res.Saturated = true
+			break
+		}
+		if e.isLinkFree {
+			start(e.link, e.time)
+			continue
+		}
+		p := e.pkt
+		if p.hop >= p.path.Len() {
+			outstanding--
+			if p.measured {
+				res.Delivered++
+				latencies = append(latencies, e.time-p.injected)
+				if e.time > lastDelivery {
+					lastDelivery = e.time
+				}
+			}
+			continue
+		}
+		l := p.path.Links[p.hop]
+		queues[l] = append(queues[l], p)
+		start(l, e.time)
+	}
+
+	if res.Delivered > 0 {
+		var sum int64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatency = float64(sum) / float64(res.Delivered)
+		// p99 by partial sort (latency slice is small per run).
+		res.P99Latency = percentile(latencies, 0.99)
+		window := lastDelivery - firstMeasuredInjection
+		if window > 0 {
+			res.AcceptedLoad = float64(res.Delivered) * float64(L) / float64(window) / float64(len(pairs))
+		}
+	}
+	return res, nil
+}
+
+func less(t1 int64, lf1 bool, s1 int64, t2 int64, lf2 bool, s2 int64) bool {
+	if t1 != t2 {
+		return t1 < t2
+	}
+	if lf1 != lf2 {
+		return !lf1
+	}
+	return s1 < s2
+}
+
+func percentile(xs []int64, p float64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Insertion-free selection: copy and quickselect via sort for
+	// simplicity (measurement windows are small).
+	cp := append([]int64(nil), xs...)
+	sortInt64(cp)
+	idx := int(math.Ceil(p * float64(len(cp)-1)))
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+func sortInt64(xs []int64) {
+	// Heapsort: in-place, no extra allocation, deterministic.
+	n := len(xs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(xs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		xs[0], xs[i] = xs[i], xs[0]
+		siftDown(xs, 0, i)
+	}
+}
+
+func siftDown(xs []int64, i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && xs[l] > xs[m] {
+			m = l
+		}
+		if r < n && xs[r] > xs[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		xs[i], xs[m] = xs[m], xs[i]
+		i = m
+	}
+}
+
+// LoadSweepPoint is one offered-load sample of a sweep.
+type LoadSweepPoint struct {
+	OfferedLoad  float64
+	AcceptedLoad float64
+	MeanLatency  float64
+	P99Latency   int64
+	Saturated    bool
+}
+
+// LoadSweep runs OpenLoop at each offered load for a fixed permutation and
+// router, producing the classic latency/throughput curve. pathsFor adapts
+// any router (see PairPathsFunc and MultiPathsFunc).
+func LoadSweep(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]topology.Path, error), rates []float64, base OpenLoopConfig) ([]LoadSweepPoint, error) {
+	points := make([]LoadSweepPoint, 0, len(rates))
+	for _, rate := range rates {
+		cfg := base
+		cfg.Rate = rate
+		res, err := OpenLoop(net, pairs, pathsFor, cfg)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, LoadSweepPoint{
+			OfferedLoad:  rate,
+			AcceptedLoad: res.AcceptedLoad,
+			MeanLatency:  res.MeanLatency,
+			P99Latency:   res.P99Latency,
+			Saturated:    res.Saturated,
+		})
+	}
+	return points, nil
+}
+
+// PairPathsFunc adapts a single-path deterministic router for OpenLoop.
+func PairPathsFunc(r routing.PairRouter) func(s, d int) ([]topology.Path, error) {
+	return func(s, d int) ([]topology.Path, error) {
+		p, err := r.PathFor(s, d)
+		if err != nil {
+			return nil, err
+		}
+		return []topology.Path{p}, nil
+	}
+}
+
+// MultiPathsFunc adapts an oblivious multipath router for OpenLoop; each
+// packet picks uniformly among the pair's path set.
+func MultiPathsFunc(r routing.MultiPairRouter) func(s, d int) ([]topology.Path, error) {
+	return r.PathsFor
+}
+
+// AssignmentPathsFunc adapts a routed assignment (e.g. from the adaptive
+// router, whose paths depend on the whole pattern) for OpenLoop.
+func AssignmentPathsFunc(a *routing.Assignment) func(s, d int) ([]topology.Path, error) {
+	idx := make(map[[2]int]int, len(a.Pairs))
+	for i, pr := range a.Pairs {
+		idx[[2]int{pr.Src, pr.Dst}] = i
+	}
+	return func(s, d int) ([]topology.Path, error) {
+		i, ok := idx[[2]int{s, d}]
+		if !ok {
+			return nil, fmt.Errorf("sim: pair %d->%d not in assignment", s, d)
+		}
+		return a.PathSets[i], nil
+	}
+}
+
+// PermPairs converts a full permutation destination vector into OpenLoop
+// pairs, skipping self-pairs.
+func PermPairs(dst []int) [][2]int {
+	pairs := make([][2]int, 0, len(dst))
+	for s, d := range dst {
+		if d >= 0 && d != s {
+			pairs = append(pairs, [2]int{s, d})
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,425 @@
+// Package sim is a deterministic event-driven, cycle-accurate network
+// simulator for the interconnects in this repository: the substrate that
+// stands in for the paper's "computer communication environment". Switch
+// control is fully distributed — each output link arbitrates independently
+// among locally queued packets — so the simulator exhibits exactly the
+// blocking behaviour the paper analyzes: when a routing assigns two flows
+// of a permutation to one link, their packets serialize and delivered
+// throughput drops below the crossbar reference; a nonblocking assignment
+// finishes in crossbar time.
+//
+// The model: every directed link transmits one flit per cycle; a packet of
+// L flits occupies a link for L consecutive cycles; forwarding is
+// store-and-forward (a packet competes for its next hop once fully
+// received). All of a flow's packets are injected at cycle 0 and serialize
+// naturally over the host's uplink.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Arbiter selects which queued packet a freed link serves next.
+type Arbiter uint8
+
+const (
+	// OldestFirst serves the packet that has waited longest (ties by
+	// flow, then packet index) — FIFO-age arbitration.
+	OldestFirst Arbiter = iota
+	// RoundRobin cycles over flows with queued packets, the arbitration
+	// used by typical switch hardware.
+	RoundRobin
+)
+
+// String names the arbiter.
+func (a Arbiter) String() string {
+	switch a {
+	case OldestFirst:
+		return "oldest-first"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("Arbiter(%d)", uint8(a))
+	}
+}
+
+// Spray selects how a multipath flow assigns packets to its paths.
+type Spray uint8
+
+const (
+	// SprayRoundRobin sends packet i over path i mod |paths|.
+	SprayRoundRobin Spray = iota
+	// SprayRandom draws each packet's path from a seeded generator.
+	SprayRandom
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// PacketFlits is the packet length L in flits (cycles per link).
+	PacketFlits int
+	// PacketsPerPair is how many packets every SD pair sends.
+	PacketsPerPair int
+	// Arbiter is the per-link scheduling policy.
+	Arbiter Arbiter
+	// Spray is the per-packet path selection for multipath flows.
+	Spray Spray
+	// Seed drives SprayRandom.
+	Seed int64
+	// MaxCycles aborts runaway simulations; 0 means 10^9.
+	MaxCycles int64
+}
+
+func (c *Config) normalize() error {
+	if c.PacketFlits <= 0 {
+		return fmt.Errorf("sim: PacketFlits must be positive")
+	}
+	if c.PacketsPerPair <= 0 {
+		return fmt.Errorf("sim: PacketsPerPair must be positive")
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 1_000_000_000
+	}
+	return nil
+}
+
+// Flow is one SD pair's traffic: a path set (usually a single path) over
+// which its packets travel.
+type Flow struct {
+	Pair  permutation.Pair
+	Paths []topology.Path
+}
+
+// FlowsFromAssignment converts a routing assignment into simulator flows.
+func FlowsFromAssignment(a *routing.Assignment) []Flow {
+	flows := make([]Flow, len(a.Pairs))
+	for i := range a.Pairs {
+		flows[i] = Flow{Pair: a.Pairs[i], Paths: a.PathSets[i]}
+	}
+	return flows
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Makespan is the cycle at which the last packet was delivered.
+	Makespan int64
+	// Delivered counts packets that reached their destination.
+	Delivered int
+	// TotalPackets counts packets injected.
+	TotalPackets int
+	// FlowFinish[i] is the delivery cycle of flow i's last packet.
+	FlowFinish []int64
+	// LinkBusy maps each used link to the cycles it spent transmitting.
+	LinkBusy map[topology.LinkID]int64
+	// SumLatency accumulates per-packet delivery times, for mean latency.
+	SumLatency int64
+	// Aborted is set when MaxCycles was hit before completion.
+	Aborted bool
+}
+
+// MeanLatency is the average packet delivery cycle.
+func (r *Result) MeanLatency() float64 {
+	if r.Delivered == 0 {
+		return 0
+	}
+	return float64(r.SumLatency) / float64(r.Delivered)
+}
+
+// MaxLinkUtilization is the busiest link's busy fraction of the makespan.
+func (r *Result) MaxLinkUtilization() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	var m int64
+	for _, b := range r.LinkBusy {
+		if b > m {
+			m = b
+		}
+	}
+	return float64(m) / float64(r.Makespan)
+}
+
+// Slowdown is this run's makespan relative to a reference run (typically
+// the crossbar baseline): 1.0 means crossbar-equivalent performance.
+func (r *Result) Slowdown(reference *Result) float64 {
+	if reference.Makespan == 0 {
+		return 1
+	}
+	return float64(r.Makespan) / float64(reference.Makespan)
+}
+
+// packet is one in-flight packet.
+type packet struct {
+	flow    int
+	idx     int   // packet index within the flow
+	path    int   // chosen path within the flow's set
+	hop     int   // next link index in the path
+	readyAt int64 // cycle at which it is fully received at current node
+}
+
+// event is a simulator event: a packet becoming ready to compete for its
+// next link, or a link becoming free.
+type event struct {
+	time int64
+	// link events run after packet-ready events at the same cycle so a
+	// freed link sees every packet that arrived this cycle.
+	isLinkFree bool
+	link       topology.LinkID
+	pkt        *packet
+	adapt      *adaptPacket // set by the adaptive engine instead of pkt
+	seq        int64        // tie-break for determinism
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].isLinkFree != h[j].isLinkFree {
+		return !h[i].isLinkFree // packet arrivals first
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates the flows over the network and returns the metrics.
+func Run(net *topology.Network, flows []Flow, cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	for i, f := range flows {
+		if len(f.Paths) == 0 {
+			return nil, fmt.Errorf("sim: flow %d has no paths", i)
+		}
+		for _, p := range f.Paths {
+			if !p.Valid(net) {
+				return nil, fmt.Errorf("sim: flow %d has an invalid path", i)
+			}
+		}
+	}
+
+	L := int64(cfg.PacketFlits)
+	res := &Result{
+		FlowFinish: make([]int64, len(flows)),
+		LinkBusy:   make(map[topology.LinkID]int64),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Dense per-link state: link IDs are small consecutive integers.
+	nLinks := net.NumLinks()
+	queues := make([][]*packet, nLinks)
+	linkFreeAt := make([]int64, nLinks)
+	rrLast := make([]int, nLinks) // last served flow per link
+	var events eventHeap
+	var seq int64
+	var free []*event // event freelist: reuse between hops
+	alloc := func() *event {
+		if n := len(free); n > 0 {
+			e := free[n-1]
+			free = free[:n-1]
+			*e = event{}
+			return e
+		}
+		return &event{}
+	}
+	push := func(e *event) {
+		e.seq = seq
+		seq++
+		heap.Push(&events, e)
+	}
+
+	deliver := func(p *packet, now int64) {
+		res.Delivered++
+		res.SumLatency += now
+		if now > res.Makespan {
+			res.Makespan = now
+		}
+		if now > res.FlowFinish[p.flow] {
+			res.FlowFinish[p.flow] = now
+		}
+	}
+
+	// Inject all packets at cycle 0.
+	for fi, f := range flows {
+		for k := 0; k < cfg.PacketsPerPair; k++ {
+			res.TotalPackets++
+			pathIdx := 0
+			switch cfg.Spray {
+			case SprayRoundRobin:
+				pathIdx = k % len(f.Paths)
+			case SprayRandom:
+				pathIdx = rng.Intn(len(f.Paths))
+			}
+			p := &packet{flow: fi, idx: k, path: pathIdx}
+			if flows[fi].Paths[pathIdx].Len() == 0 {
+				deliver(p, 0) // self-pair: no network traversal
+				continue
+			}
+			e := alloc()
+			e.pkt = p
+			push(e)
+		}
+	}
+
+	startIfPossible := func(l topology.LinkID, now int64) {
+		if linkFreeAt[l] > now {
+			return
+		}
+		q := queues[l]
+		if len(q) == 0 {
+			return
+		}
+		best := 0
+		switch cfg.Arbiter {
+		case OldestFirst:
+			for i := 1; i < len(q); i++ {
+				a, b := q[i], q[best]
+				if a.readyAt < b.readyAt ||
+					(a.readyAt == b.readyAt && (a.flow < b.flow || (a.flow == b.flow && a.idx < b.idx))) {
+					best = i
+				}
+			}
+		case RoundRobin:
+			// Next flow strictly after the last served one, cyclically.
+			last := rrLast[l]
+			bestKey := 1 << 30
+			for i, p := range q {
+				key := p.flow - last - 1
+				if key < 0 {
+					key += 1 << 20 // wrap below current flows
+				}
+				if key < bestKey || (key == bestKey && p.idx < q[best].idx) {
+					bestKey = key
+					best = i
+				}
+			}
+		}
+		p := q[best]
+		queues[l] = append(q[:best], q[best+1:]...)
+		rrLast[l] = p.flow
+		linkFreeAt[l] = now + L
+		res.LinkBusy[l] += L
+		p.hop++
+		p.readyAt = now + L
+		e := alloc()
+		e.time, e.pkt = now+L, p
+		push(e)
+		e = alloc()
+		e.time, e.isLinkFree, e.link = now+L, true, l
+		push(e)
+	}
+
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(*event)
+		if e.time > cfg.MaxCycles {
+			res.Aborted = true
+			break
+		}
+		if e.isLinkFree {
+			startIfPossible(e.link, e.time)
+			free = append(free, e)
+			continue
+		}
+		p := e.pkt
+		free = append(free, e)
+		path := flows[p.flow].Paths[p.path]
+		if p.hop >= path.Len() {
+			deliver(p, e.time)
+			continue
+		}
+		l := path.Links[p.hop]
+		queues[l] = append(queues[l], p)
+		startIfPossible(l, e.time)
+	}
+	return res, nil
+}
+
+// RunPermutation routes the pattern with the router, simulates it, and
+// returns both the assignment and the result.
+func RunPermutation(net *topology.Network, r routing.Router, p *permutation.Permutation, cfg Config) (*routing.Assignment, *Result, error) {
+	a, err := r.Route(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Run(net, FlowsFromAssignment(a), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, res, nil
+}
+
+// CrossbarReference simulates the same pattern on an ideal N-port crossbar
+// and returns the result — the paper's performance yardstick ("such an
+// interconnect behaves like a crossbar switch").
+func CrossbarReference(hosts int, p *permutation.Permutation, cfg Config) (*Result, error) {
+	x := topology.NewCrossbar(hosts)
+	r := routing.NewCrossbarRouter(x)
+	_, res, err := RunPermutation(x.Net, r, p, cfg)
+	return res, err
+}
+
+// ThroughputSummary aggregates relative performance over several patterns.
+type ThroughputSummary struct {
+	// Patterns is the number of permutations simulated.
+	Patterns int
+	// MeanSlowdown and MaxSlowdown are relative to the crossbar
+	// reference (1.0 = crossbar-equivalent).
+	MeanSlowdown float64
+	MaxSlowdown  float64
+	// MeanRelThroughput is the mean of 1/slowdown.
+	MeanRelThroughput float64
+	// MedianSlowdown is the median slowdown across patterns.
+	MedianSlowdown float64
+}
+
+// CompareToCrossbar simulates `trials` random permutations (seeded) under
+// the router and reports slowdown statistics against the crossbar
+// reference — the experiment behind the paper's motivation ([5], [7]) and
+// its claim that nonblocking folded-Clos networks match crossbars.
+func CompareToCrossbar(net *topology.Network, r routing.Router, hosts, trials int, seed int64, cfg Config) (*ThroughputSummary, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sum := &ThroughputSummary{}
+	var slowdowns []float64
+	for i := 0; i < trials; i++ {
+		p := permutation.Random(rng, hosts)
+		_, res, err := RunPermutation(net, r, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := CrossbarReference(hosts, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := res.Slowdown(ref)
+		slowdowns = append(slowdowns, s)
+		sum.MeanSlowdown += s
+		sum.MeanRelThroughput += 1 / s
+		if s > sum.MaxSlowdown {
+			sum.MaxSlowdown = s
+		}
+		sum.Patterns++
+	}
+	if sum.Patterns > 0 {
+		sum.MeanSlowdown /= float64(sum.Patterns)
+		sum.MeanRelThroughput /= float64(sum.Patterns)
+		sort.Float64s(slowdowns)
+		sum.MedianSlowdown = slowdowns[len(slowdowns)/2]
+	}
+	return sum, nil
+}

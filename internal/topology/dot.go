@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the network in Graphviz DOT format. Duplex link pairs
+// are collapsed into single undirected edges; hosts are drawn as plain
+// nodes and switches as boxes, ranked by level so fat-trees lay out with
+// hosts at the bottom.
+func WriteDOT(w io.Writer, g *Network) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", g.Name)
+	b.WriteString("  rankdir=BT;\n  node [fontsize=10];\n")
+
+	byLevel := map[int][]NodeID{}
+	maxLevel := 0
+	for id := NodeID(0); int(id) < g.NumNodes(); id++ {
+		n := g.Node(id)
+		byLevel[n.Level] = append(byLevel[n.Level], id)
+		if n.Level > maxLevel {
+			maxLevel = n.Level
+		}
+	}
+	for lvl := 0; lvl <= maxLevel; lvl++ {
+		ids := byLevel[lvl]
+		if len(ids) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  { rank=same;")
+		for _, id := range ids {
+			fmt.Fprintf(&b, " n%d;", id)
+		}
+		b.WriteString(" }\n")
+		for _, id := range ids {
+			n := g.Node(id)
+			shape := "ellipse"
+			if n.Kind == Switch {
+				shape = "box"
+			}
+			fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", id, n.Label, shape)
+		}
+	}
+	// Emit each unordered pair once.
+	seen := make(map[[2]NodeID]bool)
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(LinkID(i))
+		a, c := l.From, l.To
+		if a > c {
+			a, c = c, a
+		}
+		key := [2]NodeID{a, c}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		fmt.Fprintf(&b, "  n%d -- n%d;\n", a, c)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,232 @@
+package topology
+
+import "fmt"
+
+// ThreeLevelFtree is the recursively constructed three-level nonblocking
+// folded-Clos network from the paper's Discussion (§IV.A): start from
+// ftree(n+n², r) and realize each of the n² top-level "switches" — which
+// must have radix r — as a complete two-level nonblocking
+// ftree(n+n², r/n) whose r host ports attach to the r bottom switches.
+//
+// With the canonical parameters r = n³+n² every physical switch in the
+// network has radix n+n², and the network supports n⁴+n³ hosts — the
+// paper's example of building an O(N²)-port nonblocking interconnect from
+// O(N²) O(N)-port switches (N = n+n²).
+//
+// Following Theorem 1's guidance, the *top* switches are the ones replaced
+// by sub-networks (replacing bottom switches is provably less effective).
+type ThreeLevelFtree struct {
+	// N is the number of hosts per bottom switch.
+	N int
+	// R is the number of bottom switches; R must be a multiple of N.
+	R int
+	// M is the number of virtual top-level networks, N² for the
+	// nonblocking construction.
+	M int
+	// InnerR is R/N: the number of bottom switches inside each virtual
+	// top network (each owning N of the virtual switch's R ports).
+	InnerR int
+	// InnerM is N²: the top switches inside each virtual top network.
+	InnerM int
+
+	// Net is the underlying directed graph. Levels: 0 hosts, 1 bottom
+	// switches, 2 inner-bottom switches, 3 inner-top switches.
+	Net *Network
+
+	hostBase    NodeID
+	bottomBase  NodeID
+	innerBase   NodeID // per-virtual-switch blocks of (InnerR + InnerM) switches
+	hostLinkLo  LinkID
+	trunkLinkLo LinkID
+	innerLinkLo LinkID
+}
+
+// NewThreeLevelFtree builds the three-level construction with hosts-per-
+// switch n and r bottom switches (r divisible by n). The canonical paper
+// instance is NewThreeLevelFtree(n, n*n*n+n*n).
+func NewThreeLevelFtree(n, r int) *ThreeLevelFtree {
+	if n <= 0 || r <= 0 || r%n != 0 {
+		panic(fmt.Sprintf("topology: invalid 3-level ftree: n=%d r=%d (r must be a positive multiple of n)", n, r))
+	}
+	t := &ThreeLevelFtree{
+		N:      n,
+		R:      r,
+		M:      n * n,
+		InnerR: r / n,
+		InnerM: n * n,
+		Net:    NewNetwork(fmt.Sprintf("ftree3(%d,%d)", n, r)),
+	}
+	t.hostBase = 0
+	for v := 0; v < r; v++ {
+		for k := 0; k < n; k++ {
+			t.Net.AddNode(Host, 0, v*n+k, fmt.Sprintf("h%d.%d", v, k))
+		}
+	}
+	t.bottomBase = NodeID(r * n)
+	for v := 0; v < r; v++ {
+		t.Net.AddNode(Switch, 1, v, fmt.Sprintf("b%d", v))
+	}
+	t.innerBase = t.bottomBase + NodeID(r)
+	for vt := 0; vt < t.M; vt++ {
+		for b := 0; b < t.InnerR; b++ {
+			t.Net.AddNode(Switch, 2, vt*t.InnerR+b, fmt.Sprintf("t%d.b%d", vt, b))
+		}
+		for u := 0; u < t.InnerM; u++ {
+			t.Net.AddNode(Switch, 3, vt*t.InnerM+u, fmt.Sprintf("t%d.t%d", vt, u))
+		}
+	}
+
+	t.hostLinkLo = 0
+	for v := 0; v < r; v++ {
+		for k := 0; k < n; k++ {
+			t.Net.AddDuplex(t.HostID(v, k), t.Bottom(v))
+		}
+	}
+	// Bottom switch v attaches to port v of every virtual top network,
+	// i.e. to inner-bottom switch v/N of that network.
+	t.trunkLinkLo = LinkID(t.Net.NumLinks())
+	for v := 0; v < r; v++ {
+		for vt := 0; vt < t.M; vt++ {
+			t.Net.AddDuplex(t.Bottom(v), t.InnerBottom(vt, v/n))
+		}
+	}
+	t.innerLinkLo = LinkID(t.Net.NumLinks())
+	for vt := 0; vt < t.M; vt++ {
+		for b := 0; b < t.InnerR; b++ {
+			for u := 0; u < t.InnerM; u++ {
+				t.Net.AddDuplex(t.InnerBottom(vt, b), t.InnerTop(vt, u))
+			}
+		}
+	}
+	return t
+}
+
+// Ports reports the number of hosts, r·n.
+func (t *ThreeLevelFtree) Ports() int { return t.R * t.N }
+
+// Switches reports the total physical switch count:
+// r + n²·(r/n + n²).
+func (t *ThreeLevelFtree) Switches() int {
+	return t.R + t.M*(t.InnerR+t.InnerM)
+}
+
+// HostID returns the node ID of host (v, k).
+func (t *ThreeLevelFtree) HostID(v, k int) NodeID {
+	if v < 0 || v >= t.R || k < 0 || k >= t.N {
+		panic(fmt.Sprintf("topology: host (%d,%d) out of range in %s", v, k, t.Net.Name))
+	}
+	return t.hostBase + NodeID(v*t.N+k)
+}
+
+// Bottom returns the node ID of bottom switch v.
+func (t *ThreeLevelFtree) Bottom(v int) NodeID {
+	if v < 0 || v >= t.R {
+		panic(fmt.Sprintf("topology: bottom switch %d out of range in %s", v, t.Net.Name))
+	}
+	return t.bottomBase + NodeID(v)
+}
+
+// InnerBottom returns the node ID of bottom switch b inside virtual top
+// network vt.
+func (t *ThreeLevelFtree) InnerBottom(vt, b int) NodeID {
+	if vt < 0 || vt >= t.M || b < 0 || b >= t.InnerR {
+		panic(fmt.Sprintf("topology: inner bottom (%d,%d) out of range in %s", vt, b, t.Net.Name))
+	}
+	return t.innerBase + NodeID(vt*(t.InnerR+t.InnerM)+b)
+}
+
+// InnerTop returns the node ID of top switch u inside virtual top network vt.
+func (t *ThreeLevelFtree) InnerTop(vt, u int) NodeID {
+	if vt < 0 || vt >= t.M || u < 0 || u >= t.InnerM {
+		panic(fmt.Sprintf("topology: inner top (%d,%d) out of range in %s", vt, u, t.Net.Name))
+	}
+	return t.innerBase + NodeID(vt*(t.InnerR+t.InnerM)+t.InnerR+u)
+}
+
+// HostSwitch returns the bottom switch index of host id.
+func (t *ThreeLevelFtree) HostSwitch(id NodeID) int {
+	i := int(id - t.hostBase)
+	if i < 0 || i >= t.Ports() {
+		panic(fmt.Sprintf("topology: node %d is not a host in %s", id, t.Net.Name))
+	}
+	return i / t.N
+}
+
+// HostLocal returns the local leaf index of host id within its switch.
+func (t *ThreeLevelFtree) HostLocal(id NodeID) int {
+	i := int(id - t.hostBase)
+	if i < 0 || i >= t.Ports() {
+		panic(fmt.Sprintf("topology: node %d is not a host in %s", id, t.Net.Name))
+	}
+	return i % t.N
+}
+
+// Route returns the recursive Theorem-3 path for SD pair (src, dst):
+// the outer level selects virtual top network (i, j) = i·n+j from the
+// source and destination local indices; the inner level applies the same
+// rule to the virtual switch's port numbers. Hosts on one bottom switch
+// route locally; ports on one inner-bottom switch shortcut the inner top
+// level.
+func (t *ThreeLevelFtree) Route(src, dst NodeID) Path {
+	if src == dst {
+		panic("topology: Route requires distinct src and dst")
+	}
+	sv, i := t.HostSwitch(src), t.HostLocal(src)
+	dv, j := t.HostSwitch(dst), t.HostLocal(dst)
+	if sv == dv {
+		p, err := t.Net.PathBetween(src, t.Bottom(sv), dst)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	vt := i*t.N + j
+	ib, id2 := sv/t.N, sv%t.N // inner "host" address of port sv
+	ob, od := dv/t.N, dv%t.N
+	var nodes []NodeID
+	if ib == ob {
+		nodes = []NodeID{src, t.Bottom(sv), t.InnerBottom(vt, ib), t.Bottom(dv), dst}
+	} else {
+		iu := id2*t.N + od // inner Theorem-3 top switch (i', j')
+		nodes = []NodeID{src, t.Bottom(sv), t.InnerBottom(vt, ib), t.InnerTop(vt, iu), t.InnerBottom(vt, ob), t.Bottom(dv), dst}
+	}
+	p, err := t.Net.PathBetween(nodes...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Validate performs structural self-checks: every physical switch must have
+// the same radix when built with the canonical parameters, plus counts and
+// connectivity.
+func (t *ThreeLevelFtree) Validate() error {
+	g := t.Net
+	if g.NumHosts() != t.Ports() {
+		return fmt.Errorf("%s: have %d hosts, want %d", g.Name, g.NumHosts(), t.Ports())
+	}
+	if g.NumSwitches() != t.Switches() {
+		return fmt.Errorf("%s: have %d switches, want %d", g.Name, g.NumSwitches(), t.Switches())
+	}
+	for v := 0; v < t.R; v++ {
+		if d := g.Radix(t.Bottom(v)); d != t.N+t.M {
+			return fmt.Errorf("%s: bottom switch %d radix %d, want %d", g.Name, v, d, t.N+t.M)
+		}
+	}
+	for vt := 0; vt < t.M; vt++ {
+		for b := 0; b < t.InnerR; b++ {
+			if d := g.Radix(t.InnerBottom(vt, b)); d != t.N+t.InnerM {
+				return fmt.Errorf("%s: inner bottom (%d,%d) radix %d, want %d", g.Name, vt, b, d, t.N+t.InnerM)
+			}
+		}
+		for u := 0; u < t.InnerM; u++ {
+			if d := g.Radix(t.InnerTop(vt, u)); d != t.InnerR {
+				return fmt.Errorf("%s: inner top (%d,%d) radix %d, want %d", g.Name, vt, u, d, t.InnerR)
+			}
+		}
+	}
+	if !g.Connected() {
+		return fmt.Errorf("%s: not strongly connected", g.Name)
+	}
+	return nil
+}

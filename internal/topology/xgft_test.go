@@ -1,0 +1,93 @@
+package topology
+
+import "testing"
+
+func TestXGFTMatchesFoldedClos(t *testing.T) {
+	// XGFT(2; [n, r]; [1, m]) is exactly ftree(n+m, r).
+	n, m, r := 3, 9, 7
+	x := NewXGFT(2, []int{n, r}, []int{1, m})
+	f := NewFoldedClos(n, m, r)
+	if x.Hosts() != f.Ports() {
+		t.Fatalf("hosts %d vs %d", x.Hosts(), f.Ports())
+	}
+	if x.Switches() != f.Switches() {
+		t.Fatalf("switches %d vs %d", x.Switches(), f.Switches())
+	}
+	if x.Net.NumLinks() != f.Net.NumLinks() {
+		t.Fatalf("links %d vs %d", x.Net.NumLinks(), f.Net.NumLinks())
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.LevelSize(1) != r || x.LevelSize(2) != m {
+		t.Fatalf("level sizes: %d, %d", x.LevelSize(1), x.LevelSize(2))
+	}
+}
+
+func TestXGFTThreeLevels(t *testing.T) {
+	// XGFT(3; [2,2,2]; [1,2,2]): 8 processors, levels of 4, 4, 4 routers.
+	x := NewXGFT(3, []int{2, 2, 2}, []int{1, 2, 2})
+	if x.Hosts() != 8 {
+		t.Fatalf("hosts = %d", x.Hosts())
+	}
+	if got := []int{x.LevelSize(1), x.LevelSize(2), x.LevelSize(3)}; got[0] != 4 || got[1] != 4 || got[2] != 4 {
+		t.Fatalf("level sizes = %v", got)
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every processor reaches every other processor.
+	for s := 0; s < x.Hosts(); s++ {
+		for d := 0; d < x.Hosts(); d++ {
+			if s == d {
+				continue
+			}
+			if _, err := x.Net.ShortestPath(x.NodeAt(0, s), x.NodeAt(0, d)); err != nil {
+				t.Fatalf("%d cannot reach %d: %v", s, d, err)
+			}
+		}
+	}
+}
+
+func TestXGFTHeterogeneousArities(t *testing.T) {
+	// Per-level knobs differ: XGFT(3; [3,2,4]; [1,2,3]).
+	x := NewXGFT(3, []int{3, 2, 4}, []int{1, 2, 3})
+	if x.Hosts() != 24 {
+		t.Fatalf("hosts = %d", x.Hosts())
+	}
+	// Level sizes: L1 = m2·m3·w1 = 8, L2 = m3·w1·w2 = 8, L3 = w1·w2·w3 = 6.
+	if x.LevelSize(1) != 8 || x.LevelSize(2) != 8 || x.LevelSize(3) != 6 {
+		t.Fatalf("level sizes: %d %d %d", x.LevelSize(1), x.LevelSize(2), x.LevelSize(3))
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Oversubscribed variant: fewer parents shrink the upper levels.
+	thin := NewXGFT(3, []int{3, 2, 4}, []int{1, 1, 2})
+	if thin.LevelSize(3) >= x.LevelSize(3) {
+		t.Fatal("thinner widths should shrink the top level")
+	}
+	if err := thin.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXGFTPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"height":    func() { NewXGFT(0, nil, nil) },
+		"len":       func() { NewXGFT(2, []int{2}, []int{1, 2}) },
+		"arity":     func() { NewXGFT(2, []int{2, 0}, []int{1, 2}) },
+		"multihome": func() { NewXGFT(2, []int{2, 2}, []int{2, 2}) },
+		"level":     func() { NewXGFT(2, []int{2, 2}, []int{1, 2}).LevelSize(3) },
+		"node":      func() { NewXGFT(2, []int{2, 2}, []int{1, 2}).NodeAt(1, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,242 @@
+// Package workload models the bulk-synchronous collective-communication
+// patterns that dominate HPC cluster traffic — the application-level
+// justification for caring about permutation routing at all: classic
+// collectives decompose into sequences of permutation phases, so a
+// network that routes any permutation without contention (the paper's
+// nonblocking property) runs every phase at full bisection speed.
+//
+// A Workload is an ordered list of permutation phases executed to
+// completion one after another (the BSP model); Run simulates each phase
+// on a network/router pair and accumulates completion times.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Workload is a named sequence of permutation phases.
+type Workload struct {
+	// Name identifies the collective.
+	Name string
+	// Phases are executed sequentially; each is a (possibly partial)
+	// permutation over the host set.
+	Phases []*permutation.Permutation
+}
+
+// Hosts reports the endpoint count (0 for an empty workload).
+func (w *Workload) Hosts() int {
+	if len(w.Phases) == 0 {
+		return 0
+	}
+	return w.Phases[0].N()
+}
+
+// Validate checks that every phase is a valid permutation over one host
+// count.
+func (w *Workload) Validate() error {
+	if len(w.Phases) == 0 {
+		return fmt.Errorf("workload %q: no phases", w.Name)
+	}
+	n := w.Phases[0].N()
+	for i, p := range w.Phases {
+		if p.N() != n {
+			return fmt.Errorf("workload %q: phase %d over %d endpoints, want %d", w.Name, i, p.N(), n)
+		}
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("workload %q: phase %d: %w", w.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// AllToAll is the canonical personalized all-to-all (MPI_Alltoall) in its
+// shift decomposition: hosts−1 phases, phase k sending i → (i+k) mod hosts.
+func AllToAll(hosts int) *Workload {
+	w := &Workload{Name: fmt.Sprintf("all-to-all(%d)", hosts)}
+	for k := 1; k < hosts; k++ {
+		w.Phases = append(w.Phases, permutation.Shift(hosts, k))
+	}
+	return w
+}
+
+// ButterflyExchange is the recursive-doubling exchange (allreduce,
+// broadcast trees): log2(hosts) phases, phase k pairing i ↔ i XOR 2^k.
+// hosts must be a power of two.
+func ButterflyExchange(hosts int) *Workload {
+	if hosts <= 0 || hosts&(hosts-1) != 0 {
+		panic(fmt.Sprintf("workload: butterfly needs a power-of-two host count, have %d", hosts))
+	}
+	w := &Workload{Name: fmt.Sprintf("butterfly(%d)", hosts)}
+	for bit := 1; bit < hosts; bit <<= 1 {
+		w.Phases = append(w.Phases, permutation.Butterfly(hosts, log2(bit)))
+	}
+	return w
+}
+
+func log2(x int) int {
+	k := 0
+	for 1<<k < x {
+		k++
+	}
+	return k
+}
+
+// RingExchange is the halo pattern of 1-D domain decompositions: two
+// phases, +1 and −1 cyclic shifts.
+func RingExchange(hosts int) *Workload {
+	return &Workload{
+		Name: fmt.Sprintf("ring(%d)", hosts),
+		Phases: []*permutation.Permutation{
+			permutation.Shift(hosts, 1),
+			permutation.Shift(hosts, -1),
+		},
+	}
+}
+
+// Stencil2D is the 4-phase halo exchange of a rows×cols 2-D domain
+// decomposition (periodic boundaries): east, west, south, north shifts.
+// Host (i, j) is endpoint i·cols+j.
+func Stencil2D(rows, cols int) *Workload {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("workload: invalid stencil %dx%d", rows, cols))
+	}
+	n := rows * cols
+	mk := func(di, dj int) *permutation.Permutation {
+		p := permutation.New(n)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				ti := ((i+di)%rows + rows) % rows
+				tj := ((j+dj)%cols + cols) % cols
+				if err := p.Add(i*cols+j, ti*cols+tj); err != nil {
+					panic(err) // shifts are bijections; failure is a bug
+				}
+			}
+		}
+		return p
+	}
+	return &Workload{
+		Name: fmt.Sprintf("stencil(%dx%d)", rows, cols),
+		Phases: []*permutation.Permutation{
+			mk(0, 1), mk(0, -1), mk(1, 0), mk(-1, 0),
+		},
+	}
+}
+
+// TransposeWorkload is the single-phase matrix transpose (FFT, 2-D
+// redistribution): endpoint (i, j) → (j, i) for an rows×cols layout.
+func TransposeWorkload(rows, cols int) *Workload {
+	return &Workload{
+		Name:   fmt.Sprintf("transpose(%dx%d)", rows, cols),
+		Phases: []*permutation.Permutation{permutation.Transpose(rows, cols)},
+	}
+}
+
+// RandomPhases is a synthetic workload of seeded random full permutations.
+func RandomPhases(hosts, phases int, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{Name: fmt.Sprintf("random(%d x %d)", hosts, phases)}
+	for i := 0; i < phases; i++ {
+		w.Phases = append(w.Phases, permutation.Random(rng, hosts))
+	}
+	return w
+}
+
+// PhaseResult is the outcome of one simulated phase.
+type PhaseResult struct {
+	// Makespan is the phase completion time in cycles.
+	Makespan int64
+	// ContendedLinks counts links shared by ≥2 SD pairs of the phase.
+	ContendedLinks int
+}
+
+// Result aggregates a simulated workload run.
+type Result struct {
+	// Workload names the collective.
+	Workload string
+	// Router names the routing scheme.
+	Router string
+	// Phases holds per-phase outcomes.
+	Phases []PhaseResult
+	// TotalCycles is the bulk-synchronous completion time: the sum of
+	// phase makespans.
+	TotalCycles int64
+}
+
+// Run simulates the workload phase by phase on the network/router pair
+// and returns the aggregate completion time.
+func Run(net *topology.Network, r routing.Router, w *Workload, cfg sim.Config) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Workload: w.Name, Router: r.Name()}
+	for _, phase := range w.Phases {
+		a, err := r.Route(phase)
+		if err != nil {
+			return nil, err
+		}
+		out, err := sim.Run(net, sim.FlowsFromAssignment(a), cfg)
+		if err != nil {
+			return nil, err
+		}
+		pr := PhaseResult{Makespan: out.Makespan, ContendedLinks: contendedLinks(a)}
+		res.Phases = append(res.Phases, pr)
+		res.TotalCycles += out.Makespan
+	}
+	return res, nil
+}
+
+// RunCrossbar simulates the workload on the ideal crossbar reference.
+func RunCrossbar(w *Workload, cfg sim.Config) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	x := topology.NewCrossbar(w.Hosts())
+	return Run(x.Net, routing.NewCrossbarRouter(x), w, cfg)
+}
+
+// Slowdown is the total completion time relative to a reference run.
+func (r *Result) Slowdown(ref *Result) float64 {
+	if ref.TotalCycles == 0 {
+		return 1
+	}
+	return float64(r.TotalCycles) / float64(ref.TotalCycles)
+}
+
+// ContendedPhases counts phases with at least one contended link.
+func (r *Result) ContendedPhases() int {
+	c := 0
+	for _, p := range r.Phases {
+		if p.ContendedLinks > 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// contendedLinks counts directed links carried by more than one SD pair.
+func contendedLinks(a *routing.Assignment) int {
+	load := map[topology.LinkID]map[int]bool{}
+	for i, ps := range a.PathSets {
+		for _, p := range ps {
+			for _, l := range p.Links {
+				if load[l] == nil {
+					load[l] = map[int]bool{}
+				}
+				load[l][i] = true
+			}
+		}
+	}
+	c := 0
+	for _, pairs := range load {
+		if len(pairs) > 1 {
+			c++
+		}
+	}
+	return c
+}

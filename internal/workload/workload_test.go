@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestGeneratorsValid(t *testing.T) {
+	cases := []*Workload{
+		AllToAll(10),
+		ButterflyExchange(16),
+		RingExchange(7),
+		Stencil2D(3, 4),
+		TransposeWorkload(3, 4),
+		RandomPhases(8, 5, 1),
+	}
+	for _, w := range cases {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	if len(AllToAll(10).Phases) != 9 {
+		t.Fatal("all-to-all phase count")
+	}
+	if len(ButterflyExchange(16).Phases) != 4 {
+		t.Fatal("butterfly phase count")
+	}
+	if len(Stencil2D(3, 4).Phases) != 4 {
+		t.Fatal("stencil phase count")
+	}
+	if got := AllToAll(10).Hosts(); got != 10 {
+		t.Fatalf("hosts = %d", got)
+	}
+}
+
+func TestStencilNeighborsCorrect(t *testing.T) {
+	w := Stencil2D(3, 4)
+	east := w.Phases[0]
+	// (1,1) = endpoint 5 sends east to (1,2) = 6.
+	if east.Dst(5) != 6 {
+		t.Fatalf("east neighbor of 5 = %d", east.Dst(5))
+	}
+	// Wraparound: (1,3) = 7 sends east to (1,0) = 4.
+	if east.Dst(7) != 4 {
+		t.Fatalf("east wrap of 7 = %d", east.Dst(7))
+	}
+	north := w.Phases[3]
+	// (0,2) = 2 sends north (i-1) to (2,2) = 10 with wraparound.
+	if north.Dst(2) != 10 {
+		t.Fatalf("north wrap of 2 = %d", north.Dst(2))
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	if err := (&Workload{Name: "empty"}).Validate(); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	w := RingExchange(4)
+	w.Phases = append(w.Phases, AllToAll(6).Phases[0])
+	if err := w.Validate(); err == nil {
+		t.Fatal("mixed-size phases accepted")
+	}
+	if (&Workload{}).Hosts() != 0 {
+		t.Fatal("empty Hosts")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("non-power-of-two butterfly should panic")
+			}
+		}()
+		ButterflyExchange(6)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("invalid stencil should panic")
+			}
+		}()
+		Stencil2D(0, 3)
+	}()
+}
+
+func TestRunNonblockingMatchesCrossbarShape(t *testing.T) {
+	// All-to-all on the nonblocking ftree completes within pipeline
+	// overhead of the crossbar; dest-mod static routing is strictly
+	// slower and contends in at least one phase.
+	f := topology.NewFoldedClos(2, 4, 5)
+	paper, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := AllToAll(f.Ports())
+	cfg := sim.Config{PacketFlits: 2, PacketsPerPair: 4}
+	nb, err := Run(f.Net, paper, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.ContendedPhases() != 0 {
+		t.Fatalf("nonblocking run contended in %d phases", nb.ContendedPhases())
+	}
+	ref, err := RunCrossbar(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := nb.Slowdown(ref); s > 1.5 {
+		t.Fatalf("nonblocking all-to-all slowdown %.2f", s)
+	}
+	// Shift phases happen to avoid dest-mod collisions on this small
+	// configuration (consecutive destinations differ mod m); random
+	// phases expose the contention.
+	rw := RandomPhases(f.Ports(), 10, 1)
+	nbR, err := Run(f.Net, paper, rw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := Run(f.Net, routing.NewDestMod(f), rw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.TotalCycles <= nbR.TotalCycles {
+		t.Fatalf("dest-mod (%d cycles) should be slower than nonblocking (%d) on random phases", dm.TotalCycles, nbR.TotalCycles)
+	}
+	if dm.ContendedPhases() == 0 {
+		t.Fatal("dest-mod should contend in some phase")
+	}
+	if nbR.ContendedPhases() != 0 {
+		t.Fatal("nonblocking routing contended on random phases")
+	}
+	if len(nb.Phases) != len(w.Phases) {
+		t.Fatal("phase results missing")
+	}
+}
+
+func TestRunErrorsPropagate(t *testing.T) {
+	f := topology.NewFoldedClos(2, 1, 3)
+	ad, err := routing.NewNonblockingAdaptive(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(f.Net, ad, AllToAll(f.Ports()), sim.Config{PacketFlits: 2, PacketsPerPair: 2}); err == nil {
+		t.Fatal("expected routing error with m=1")
+	}
+	if _, err := Run(f.Net, ad, &Workload{Name: "empty"}, sim.Config{PacketFlits: 2, PacketsPerPair: 2}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	if _, err := RunCrossbar(&Workload{Name: "empty"}, sim.Config{PacketFlits: 2, PacketsPerPair: 2}); err == nil {
+		t.Fatal("empty crossbar run accepted")
+	}
+}
+
+func TestSlowdownZeroReference(t *testing.T) {
+	r := &Result{TotalCycles: 10}
+	if r.Slowdown(&Result{}) != 1 {
+		t.Fatal("zero-reference slowdown should be 1")
+	}
+}
