@@ -14,14 +14,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/ ./internal/analysis/
+	$(GO) test -race ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal/experiments/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
 	$(GO) tool cover -func=cover.out | tail -1
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem -run='^$$' . ./internal/...
 
 # Regenerate the full experiment report (EXPERIMENTS.md's backing artifact).
 report:

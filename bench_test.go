@@ -514,6 +514,41 @@ func BenchmarkWorstLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepRandom times the randomized verification sweep on the
+// Table-I network ftree(4+16, 20) — the congestion-accounting hot path the
+// flat-array Checker optimizes.
+func BenchmarkSweepRandom(b *testing.B) {
+	f := fclos.NewFoldedClos(4, 16, 20)
+	r, err := fclos.NewPaperDeterministic(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := fclos.SweepRandom(r, f.Ports(), 10, 1)
+		if !res.Nonblocking() {
+			b.Fatal("paper routing blocked")
+		}
+	}
+}
+
+// BenchmarkSweepExhaustive times the exhaustive 8!-permutation sweep on
+// ftree(4+16, 2) (n = 4, m = 16, 8 hosts).
+func BenchmarkSweepExhaustive(b *testing.B) {
+	f := fclos.NewFoldedClos(4, 16, 2)
+	r, err := fclos.NewPaperDeterministic(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := fclos.SweepExhaustive(r, f.Ports())
+		if !res.Nonblocking() {
+			b.Fatal("paper routing blocked")
+		}
+	}
+}
+
 // BenchmarkBuildFoldedClos times topology construction at Table-I scale.
 func BenchmarkBuildFoldedClos(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -251,6 +251,10 @@ type (
 	Lemma1Result = analysis.Lemma1Result
 	// SweepResult summarizes a permutation sweep.
 	SweepResult = analysis.SweepResult
+	// Checker is the reusable flat-array contention accounting scratch
+	// backing CheckContention and the sweeps; hoist one outside a loop to
+	// analyze many patterns without per-pattern allocation.
+	Checker = analysis.Checker
 )
 
 // Verification entry points; see internal/analysis.
@@ -260,9 +264,14 @@ var (
 	// ComputeLoadStats summarizes a routed pattern's per-link load
 	// distribution.
 	ComputeLoadStats = analysis.ComputeLoadStats
+	// NewChecker builds a reusable Checker (nil network is allowed; the
+	// scratch grows on demand).
+	NewChecker = analysis.NewChecker
 	// CheckLemma1AllPairs decides nonblocking exactly for deterministic
-	// routing (Lemma 1).
-	CheckLemma1AllPairs = analysis.CheckLemma1AllPairs
+	// routing (Lemma 1); the Parallel variant shards the all-pairs
+	// routing by source host with an identical result.
+	CheckLemma1AllPairs         = analysis.CheckLemma1AllPairs
+	CheckLemma1AllPairsParallel = analysis.CheckLemma1AllPairsParallel
 	// BlockingWitness extracts a blocked two-pair permutation from a
 	// Lemma-1 violation.
 	BlockingWitness = analysis.BlockingWitness
@@ -298,9 +307,11 @@ var (
 	ModelExpectedCollisions = analysis.ModelExpectedCollisions
 	// WorstCaseLinkLoad computes the exact worst-case permutation load
 	// per link (maximum matching); WorstCasePermutationFor constructs a
-	// permutation realizing it.
-	WorstCaseLinkLoad       = analysis.WorstCaseLinkLoad
-	WorstCasePermutationFor = analysis.WorstCasePermutationFor
+	// permutation realizing it. The Parallel variant shards the
+	// underlying all-pairs routing by source host.
+	WorstCaseLinkLoad         = analysis.WorstCaseLinkLoad
+	WorstCaseLinkLoadParallel = analysis.WorstCaseLinkLoadParallel
+	WorstCasePermutationFor   = analysis.WorstCasePermutationFor
 )
 
 // ---------------------------------------------------------------------------

@@ -41,13 +41,12 @@ type WorstCaseResult struct {
 func (s *WorstCaseSearch) Run() (*WorstCaseResult, error) {
 	rng := rand.New(rand.NewSource(s.Seed))
 	best := &WorstCaseResult{}
+	c := NewChecker(nil)
 	score := func(p *permutation.Permutation) (int, int, error) {
-		a, err := s.Router.Route(p)
-		if err != nil {
+		if err := c.AnalyzePattern(s.Router, p); err != nil {
 			return 0, 0, err
 		}
-		rep := Check(a)
-		return len(rep.Contended), rep.MaxLoad, nil
+		return c.ContendedCount(), c.MaxLoad(), nil
 	}
 	for restart := 0; restart < s.Restarts; restart++ {
 		cur := permutation.Random(rng, s.Hosts)

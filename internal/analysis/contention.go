@@ -9,7 +9,6 @@ package analysis
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/permutation"
 	"repro/internal/routing"
@@ -32,30 +31,13 @@ type Report struct {
 // Check computes the link loads of an assignment. A link is contended when
 // packets of two different SD pairs of the pattern may cross it
 // (Definition 2); for multipath assignments every path in a pair's set
-// counts, per the §IV.B timing argument.
+// counts, per the §IV.B timing argument. Check is the one-shot wrapper
+// around Checker; loops over many patterns should reuse one Checker
+// instead, which does O(1) allocations per pattern.
 func Check(a *routing.Assignment) *Report {
-	rep := &Report{Assignment: a, LinkPairs: make(map[topology.LinkID][]int)}
-	for i, ps := range a.PathSets {
-		seen := map[topology.LinkID]bool{}
-		for _, p := range ps {
-			for _, l := range p.Links {
-				if !seen[l] {
-					seen[l] = true
-					rep.LinkPairs[l] = append(rep.LinkPairs[l], i)
-				}
-			}
-		}
-	}
-	for l, pairs := range rep.LinkPairs {
-		if len(pairs) > rep.MaxLoad {
-			rep.MaxLoad = len(pairs)
-		}
-		if len(pairs) >= 2 {
-			rep.Contended = append(rep.Contended, l)
-		}
-	}
-	sort.Slice(rep.Contended, func(i, j int) bool { return rep.Contended[i] < rep.Contended[j] })
-	return rep
+	c := NewChecker(a.Net)
+	c.Analyze(a)
+	return c.Report()
 }
 
 // HasContention reports whether any link carries two or more SD pairs.
@@ -205,18 +187,17 @@ func (s *SweepResult) Nonblocking() bool { return s.Blocked == 0 && s.RouteErr =
 // check on small networks.
 func SweepExhaustive(r routing.Router, hosts int) *SweepResult {
 	res := &SweepResult{}
+	c := NewChecker(nil)
 	permutation.EnumerateFull(hosts, func(p *permutation.Permutation) bool {
-		a, err := r.Route(p)
-		if err != nil {
+		if err := c.AnalyzePattern(r, p); err != nil {
 			res.RouteErr = fmt.Errorf("analysis: pattern %s: %w", p, err)
 			return false
 		}
 		res.Tested++
-		rep := Check(a)
-		if rep.MaxLoad > res.MaxLinkLoad {
-			res.MaxLinkLoad = rep.MaxLoad
+		if c.MaxLoad() > res.MaxLinkLoad {
+			res.MaxLinkLoad = c.MaxLoad()
 		}
-		if rep.HasContention() {
+		if c.HasContention() {
 			res.Blocked++
 			if res.FirstBlocked == nil {
 				res.FirstBlocked = p.Clone()
@@ -234,18 +215,17 @@ func SweepExhaustive(r routing.Router, hosts int) *SweepResult {
 func SweepRandom(r routing.Router, hosts, trials int, seed int64) *SweepResult {
 	res := &SweepResult{}
 	rng := rand.New(rand.NewSource(seed))
+	c := NewChecker(nil)
 	test := func(p *permutation.Permutation) bool {
-		a, err := r.Route(p)
-		if err != nil {
+		if err := c.AnalyzePattern(r, p); err != nil {
 			res.RouteErr = fmt.Errorf("analysis: pattern %s: %w", p, err)
 			return false
 		}
 		res.Tested++
-		rep := Check(a)
-		if rep.MaxLoad > res.MaxLinkLoad {
-			res.MaxLinkLoad = rep.MaxLoad
+		if c.MaxLoad() > res.MaxLinkLoad {
+			res.MaxLinkLoad = c.MaxLoad()
 		}
-		if rep.HasContention() {
+		if c.HasContention() {
 			res.Blocked++
 			if res.FirstBlocked == nil {
 				res.FirstBlocked = p.Clone()
@@ -290,18 +270,17 @@ func SweepRandom(r routing.Router, hosts, trials int, seed int64) *SweepResult {
 // the related work optimizes ([6], [9], [15], [17]).
 func BlockingProbability(r routing.Router, hosts, trials int, seed int64) (blockFrac, meanMaxLoad float64, err error) {
 	rng := rand.New(rand.NewSource(seed))
+	c := NewChecker(nil)
 	blocked, loadSum := 0, 0
 	for i := 0; i < trials; i++ {
 		p := permutation.Random(rng, hosts)
-		a, rerr := r.Route(p)
-		if rerr != nil {
+		if rerr := c.AnalyzePattern(r, p); rerr != nil {
 			return 0, 0, rerr
 		}
-		rep := Check(a)
-		if rep.HasContention() {
+		if c.HasContention() {
 			blocked++
 		}
-		loadSum += rep.MaxLoad
+		loadSum += c.MaxLoad()
 	}
 	if trials == 0 {
 		return 0, 0, nil

@@ -155,37 +155,52 @@ func RootSetWitness(n, r int) []permutation.Pair {
 // on every uplink (source switch → root) and downlink (root → destination
 // switch). It returns an error naming the first violated link.
 func CheckRootSet(n, r int, pairs []permutation.Pair) error {
-	type view struct{ srcs, dsts map[int]bool }
-	ups := make([]view, r)
-	downs := make([]view, r)
-	for i := range ups {
-		ups[i] = view{map[int]bool{}, map[int]bool{}}
-		downs[i] = view{map[int]bool{}, map[int]bool{}}
+	// Flat-array distinct-endpoint accounting: hosts are dense in
+	// [0, n·r), so each of the 2r links tracks its distinct sources and
+	// destinations with a boolean row plus a counter instead of maps.
+	hosts := n * r
+	type view struct {
+		srcSeen, dstSeen []bool
+		srcs, dsts       int
 	}
-	seen := map[permutation.Pair]bool{}
+	views := make([]view, 2*r) // uplink of switch v at [v], downlink at [r+v]
+	marks := make([]bool, 4*r*hosts)
+	for i := range views {
+		views[i].srcSeen = marks[(2*i)*hosts : (2*i+1)*hosts]
+		views[i].dstSeen = marks[(2*i+1)*hosts : (2*i+2)*hosts]
+	}
+	add := func(v *view, src, dst int) {
+		if !v.srcSeen[src] {
+			v.srcSeen[src] = true
+			v.srcs++
+		}
+		if !v.dstSeen[dst] {
+			v.dstSeen[dst] = true
+			v.dsts++
+		}
+	}
+	seen := make([]bool, hosts*hosts)
 	for _, p := range pairs {
-		sv, dv := p.Src/n, p.Dst/n
-		if sv < 0 || sv >= r || dv < 0 || dv >= r {
+		if p.Src < 0 || p.Src >= hosts || p.Dst < 0 || p.Dst >= hosts {
 			return fmt.Errorf("analysis: pair %v out of range", p)
 		}
+		sv, dv := p.Src/n, p.Dst/n
 		if sv == dv {
 			return fmt.Errorf("analysis: pair %v does not cross the root", p)
 		}
-		if seen[p] {
+		if seen[p.Src*hosts+p.Dst] {
 			return fmt.Errorf("analysis: duplicate pair %v", p)
 		}
-		seen[p] = true
-		ups[sv].srcs[p.Src] = true
-		ups[sv].dsts[p.Dst] = true
-		downs[dv].srcs[p.Src] = true
-		downs[dv].dsts[p.Dst] = true
+		seen[p.Src*hosts+p.Dst] = true
+		add(&views[sv], p.Src, p.Dst)
+		add(&views[r+dv], p.Src, p.Dst)
 	}
 	for v := 0; v < r; v++ {
-		if len(ups[v].srcs) > 1 && len(ups[v].dsts) > 1 {
-			return fmt.Errorf("analysis: uplink of switch %d carries %d sources and %d destinations", v, len(ups[v].srcs), len(ups[v].dsts))
+		if up := &views[v]; up.srcs > 1 && up.dsts > 1 {
+			return fmt.Errorf("analysis: uplink of switch %d carries %d sources and %d destinations", v, up.srcs, up.dsts)
 		}
-		if len(downs[v].srcs) > 1 && len(downs[v].dsts) > 1 {
-			return fmt.Errorf("analysis: downlink of switch %d carries %d sources and %d destinations", v, len(downs[v].srcs), len(downs[v].dsts))
+		if dn := &views[r+v]; dn.srcs > 1 && dn.dsts > 1 {
+			return fmt.Errorf("analysis: downlink of switch %d carries %d sources and %d destinations", v, dn.srcs, dn.dsts)
 		}
 	}
 	return nil

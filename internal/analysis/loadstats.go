@@ -26,12 +26,13 @@ type LoadStats struct {
 
 // ComputeLoadStats builds the load distribution of an assignment.
 func ComputeLoadStats(a *routing.Assignment) *LoadStats {
-	rep := Check(a)
+	c := NewChecker(a.Net)
+	c.Analyze(a)
 	st := &LoadStats{Histogram: make(map[int]int)}
 	total := 0
 	contended := 0
-	for _, pairs := range rep.LinkPairs {
-		k := len(pairs)
+	for _, l := range c.LoadedLinks() {
+		k := len(c.PairsOn(l))
 		st.Histogram[k]++
 		st.LoadedLinks++
 		total += k

@@ -49,15 +49,15 @@ func ModelRandomClearProb(n, m, r int) float64 {
 func MeasureRandomClearProb(n, m, r, trials int, seed int64) (float64, error) {
 	f := topology.NewFoldedClos(n, m, r)
 	rng := rand.New(rand.NewSource(seed))
+	c := NewChecker(f.Net)
 	clear := 0
 	for trial := 0; trial < trials; trial++ {
 		router := routing.NewRandomFixed(f, rng.Int63())
 		p := permutation.Random(rng, f.Ports())
-		a, err := router.Route(p)
-		if err != nil {
+		if err := c.AnalyzePattern(router, p); err != nil {
 			return 0, err
 		}
-		if !Check(a).HasContention() {
+		if !c.HasContention() {
 			clear++
 		}
 	}

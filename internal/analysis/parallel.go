@@ -8,14 +8,21 @@ import (
 
 	"repro/internal/permutation"
 	"repro/internal/routing"
+	"repro/internal/topology"
 )
 
 // The parallel verification engine. Every router in this repository is
 // safe for concurrent Route calls — routing state is per-call — so sweeps
-// parallelize over patterns with a plain worker pool. Results are merged
-// deterministically: counts are exact, and FirstBlocked is the blocked
-// pattern from the lowest-numbered shard (sequential order), so parallel
-// and sequential sweeps agree on everything except wall-clock time.
+// parallelize over patterns with a plain worker pool; each worker owns a
+// flat-array Checker, so the hot loop allocates nothing per pattern.
+// Results are merged deterministically: counts are exact, and FirstBlocked
+// is the blocked pattern from the lowest-numbered shard (sequential
+// order), so parallel and sequential sweeps agree on everything except
+// wall-clock time. On a routing failure the shards' partial counters are
+// racy (other shards stop mid-enumeration), so the merged result zeroes
+// the statistical fields and re-derives the canonical sequential-order
+// first routing error — parallel and sequential sweeps then agree on the
+// reported error as well.
 
 // SweepExhaustiveParallel is SweepExhaustive over `workers` goroutines,
 // sharding the n! permutations into n batches by the first endpoint's
@@ -27,12 +34,8 @@ func SweepExhaustiveParallel(r routing.Router, hosts, workers int) *SweepResult 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	type shardResult struct {
-		res   SweepResult
-		shard int
-	}
 	shards := make(chan int)
-	results := make([]shardResult, hosts)
+	results := make([]SweepResult, hosts)
 	var wg sync.WaitGroup
 	var abort atomic.Bool
 
@@ -40,28 +43,26 @@ func SweepExhaustiveParallel(r routing.Router, hosts, workers int) *SweepResult 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			c := NewChecker(nil)
 			for shard := range shards {
 				sr := &results[shard]
-				sr.shard = shard
 				permutation.EnumerateFullPrefix(hosts, shard, func(p *permutation.Permutation) bool {
 					if abort.Load() {
 						return false
 					}
-					a, err := r.Route(p)
-					if err != nil {
-						sr.res.RouteErr = fmt.Errorf("analysis: pattern %s: %w", p, err)
+					if err := c.AnalyzePattern(r, p); err != nil {
+						sr.RouteErr = fmt.Errorf("analysis: pattern %s: %w", p, err)
 						abort.Store(true)
 						return false
 					}
-					sr.res.Tested++
-					rep := Check(a)
-					if rep.MaxLoad > sr.res.MaxLinkLoad {
-						sr.res.MaxLinkLoad = rep.MaxLoad
+					sr.Tested++
+					if c.MaxLoad() > sr.MaxLinkLoad {
+						sr.MaxLinkLoad = c.MaxLoad()
 					}
-					if rep.HasContention() {
-						sr.res.Blocked++
-						if sr.res.FirstBlocked == nil {
-							sr.res.FirstBlocked = p.Clone()
+					if c.HasContention() {
+						sr.Blocked++
+						if sr.FirstBlocked == nil {
+							sr.FirstBlocked = p.Clone()
 						}
 					}
 					return true
@@ -75,9 +76,20 @@ func SweepExhaustiveParallel(r routing.Router, hosts, workers int) *SweepResult 
 	close(shards)
 	wg.Wait()
 
+	for i := range results {
+		if results[i].RouteErr != nil {
+			// Error path: which patterns the other shards managed to test
+			// before observing the abort flag is a race, so the partial
+			// counters are meaningless and, worse, nondeterministic.
+			// Discard them and re-derive the sequential-order first
+			// routing failure, which is deterministic because every
+			// router's outcome depends only on the pattern.
+			return sweepFirstRouteErr(r, hosts)
+		}
+	}
 	merged := &SweepResult{}
 	for i := range results {
-		sr := &results[i].res
+		sr := &results[i]
 		merged.Tested += sr.Tested
 		merged.Blocked += sr.Blocked
 		if sr.MaxLinkLoad > merged.MaxLinkLoad {
@@ -86,11 +98,108 @@ func SweepExhaustiveParallel(r routing.Router, hosts, workers int) *SweepResult 
 		if merged.FirstBlocked == nil && sr.FirstBlocked != nil {
 			merged.FirstBlocked = sr.FirstBlocked
 		}
-		if merged.RouteErr == nil && sr.RouteErr != nil {
-			merged.RouteErr = sr.RouteErr
-		}
 	}
 	return merged
+}
+
+// sweepFirstRouteErr scans the full enumeration in sequential order and
+// returns a SweepResult carrying only the canonical first routing error,
+// with all statistical fields zeroed. Called only after a parallel sweep
+// has already observed at least one routing failure, so the scan is
+// guaranteed to terminate at the first failing pattern.
+func sweepFirstRouteErr(r routing.Router, hosts int) *SweepResult {
+	res := &SweepResult{}
+	c := NewChecker(nil)
+	permutation.EnumerateFull(hosts, func(p *permutation.Permutation) bool {
+		if err := c.AnalyzePattern(r, p); err != nil {
+			res.RouteErr = fmt.Errorf("analysis: pattern %s: %w", p, err)
+			return false
+		}
+		return true
+	})
+	return res
+}
+
+// CheckLemma1AllPairsParallel is CheckLemma1AllPairs with the all-pairs
+// routing sharded over `workers` goroutines by source host. The merged
+// result is identical to the sequential one: per-link pair lists are
+// assembled in (source, destination) order, and the reported violation and
+// routing error are the sequential-order first. workers ≤ 0 selects
+// GOMAXPROCS.
+func CheckLemma1AllPairsParallel(r routing.PairRouter, hosts, workers int) (*Lemma1Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > hosts {
+		workers = hosts
+	}
+	if workers <= 1 || hosts <= 1 {
+		return CheckLemma1AllPairs(r, hosts)
+	}
+	type entry struct {
+		link topology.LinkID
+		dst  int
+	}
+	type shardOut struct {
+		entries []entry
+		err     error
+	}
+	outs := make([]shardOut, hosts)
+	srcs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range srcs {
+				o := &outs[s]
+				for d := 0; d < hosts; d++ {
+					if s == d {
+						continue
+					}
+					p, err := r.PathFor(s, d)
+					if err != nil {
+						o.err = fmt.Errorf("analysis: routing pair %d->%d: %w", s, d, err)
+						break
+					}
+					for _, l := range p.Links {
+						o.entries = append(o.entries, entry{l, d})
+					}
+				}
+			}
+		}()
+	}
+	for s := 0; s < hosts; s++ {
+		srcs <- s
+	}
+	close(srcs)
+	wg.Wait()
+
+	res := &Lemma1Result{Nonblocking: true, Links: make(map[topology.LinkID]*LinkSDView)}
+	for s := 0; s < hosts; s++ {
+		if outs[s].err != nil {
+			return nil, outs[s].err
+		}
+		for _, e := range outs[s].entries {
+			v := res.Links[e.link]
+			if v == nil {
+				v = &LinkSDView{Link: e.link}
+				res.Links[e.link] = v
+			}
+			v.Pairs = append(v.Pairs, permutation.Pair{Src: s, Dst: e.dst})
+			insertDistinct(&v.Sources, s)
+			insertDistinct(&v.Dests, e.dst)
+		}
+	}
+	for _, v := range res.Links {
+		if !v.OneSourceOrOneDest() {
+			res.Nonblocking = false
+			if res.Violation == nil || v.Link < res.Violation.Link {
+				res.Violation = v
+			}
+		}
+	}
+	return res, nil
 }
 
 // BlockingProbabilityParallel is BlockingProbability over a worker pool:

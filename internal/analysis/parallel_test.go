@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/permutation"
@@ -53,6 +55,120 @@ func TestSweepExhaustiveParallelTinyAndErrors(t *testing.T) {
 	}
 	if out.Nonblocking() {
 		t.Fatal("errored sweep must not claim nonblocking")
+	}
+}
+
+// failingRouter wraps a working router but fails on every pattern sending
+// host 0 to failDst — a deterministic, pattern-keyed fault for exercising
+// the sweep error path.
+type failingRouter struct {
+	inner   routing.Router
+	failDst int
+}
+
+func (r *failingRouter) Name() string { return "failing-" + r.inner.Name() }
+
+func (r *failingRouter) Route(p *permutation.Permutation) (*routing.Assignment, error) {
+	if p.Dst(0) == r.failDst {
+		return nil, fmt.Errorf("injected failure for 0->%d", r.failDst)
+	}
+	return r.inner.Route(p)
+}
+
+// TestSweepExhaustiveParallelErrorPathDeterministic is the regression test
+// for the racy error path: a parallel sweep hitting a routing failure must
+// report the same (sequential-order first) error as SweepExhaustive and
+// zeroed statistics, identically across worker counts and repeated runs.
+func TestSweepExhaustiveParallelErrorPathDeterministic(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 3)
+	good, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &failingRouter{inner: good, failDst: 2}
+	seq := SweepExhaustive(r, f.Ports())
+	if seq.RouteErr == nil {
+		t.Fatal("sequential sweep should hit the injected failure")
+	}
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		for rep := 0; rep < 5; rep++ {
+			par := SweepExhaustiveParallel(r, f.Ports(), workers)
+			if par.RouteErr == nil || par.RouteErr.Error() != seq.RouteErr.Error() {
+				t.Fatalf("workers=%d rep=%d: RouteErr %v, want %v", workers, rep, par.RouteErr, seq.RouteErr)
+			}
+			if par.Tested != 0 || par.Blocked != 0 || par.MaxLinkLoad != 0 || par.FirstBlocked != nil {
+				t.Fatalf("workers=%d rep=%d: error path must zero statistics, got (%d,%d,%d,%v)",
+					workers, rep, par.Tested, par.Blocked, par.MaxLinkLoad, par.FirstBlocked)
+			}
+			if par.Nonblocking() {
+				t.Fatal("errored sweep must not claim nonblocking")
+			}
+		}
+	}
+}
+
+func TestCheckLemma1AllPairsParallelMatchesSequential(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 3)
+	good, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := routing.NewDestMod(f)
+	for _, r := range []routing.PairRouter{good, bad} {
+		seq, err := CheckLemma1AllPairs(r, f.Ports())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 0} {
+			par, err := CheckLemma1AllPairsParallel(r, f.Ports(), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Nonblocking != seq.Nonblocking {
+				t.Fatalf("%s workers=%d: Nonblocking %v vs %v", r.Name(), workers, par.Nonblocking, seq.Nonblocking)
+			}
+			if !reflect.DeepEqual(par.Links, seq.Links) {
+				t.Fatalf("%s workers=%d: Links differ from sequential", r.Name(), workers)
+			}
+			if !reflect.DeepEqual(par.Violation, seq.Violation) {
+				t.Fatalf("%s workers=%d: Violation %+v vs %+v", r.Name(), workers, par.Violation, seq.Violation)
+			}
+		}
+	}
+	// Error path: the parallel check reports the sequential-order first
+	// failing pair regardless of worker count.
+	broke := &routing.FtreeSinglePath{F: f, RouterName: "broke", TopChoice: func(s, d int) int {
+		if s >= 4 {
+			return 99
+		}
+		return 0
+	}}
+	_, errSeq := CheckLemma1AllPairs(broke, f.Ports())
+	if errSeq == nil {
+		t.Fatal("expected sequential error")
+	}
+	for _, workers := range []int{2, 5, 0} {
+		_, errPar := CheckLemma1AllPairsParallel(broke, f.Ports(), workers)
+		if errPar == nil || errPar.Error() != errSeq.Error() {
+			t.Fatalf("workers=%d: error %v, want %v", workers, errPar, errSeq)
+		}
+	}
+}
+
+func TestWorstCaseLinkLoadParallelMatchesSequential(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 3)
+	for _, r := range []routing.PairRouter{routing.NewDestMod(f)} {
+		seq, err := WorstCaseLinkLoad(r, f.Ports())
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := WorstCaseLinkLoadParallel(r, f.Ports(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("parallel %+v vs sequential %+v", par, seq)
+		}
 	}
 }
 

@@ -42,16 +42,33 @@ func WorstCaseLinkLoad(r routing.PairRouter, hosts int) (*WorstLoadResult, error
 	if err != nil {
 		return nil, err
 	}
+	return worstLoadFrom(res), nil
+}
+
+// WorstCaseLinkLoadParallel is WorstCaseLinkLoad with the all-pairs
+// routing sharded over `workers` goroutines (CheckLemma1AllPairsParallel);
+// the result is identical to the sequential analysis.
+func WorstCaseLinkLoadParallel(r routing.PairRouter, hosts, workers int) (*WorstLoadResult, error) {
+	res, err := CheckLemma1AllPairsParallel(r, hosts, workers)
+	if err != nil {
+		return nil, err
+	}
+	return worstLoadFrom(res), nil
+}
+
+func worstLoadFrom(res *Lemma1Result) *WorstLoadResult {
 	out := &WorstLoadResult{PerLink: make(map[topology.LinkID]int, len(res.Links)), Link: topology.NoLink}
 	for id, view := range res.Links {
 		load := maxBipartiteMatching(view)
 		out.PerLink[id] = load
-		if load > out.MaxLoad {
+		// Ties break toward the lowest link ID so sequential and parallel
+		// analyses report the same attaining link.
+		if load > out.MaxLoad || (load == out.MaxLoad && out.Link != topology.NoLink && id < out.Link) {
 			out.MaxLoad = load
 			out.Link = id
 		}
 	}
-	return out, nil
+	return out
 }
 
 // maxBipartiteMatching computes the maximum matching of a link's SD pairs

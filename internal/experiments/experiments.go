@@ -502,6 +502,7 @@ type BenesResult struct {
 // random full permutations.
 func Benes(n, r, trials int, seed int64) (*BenesResult, error) {
 	res := &BenesResult{N: n, R: r, Trials: trials}
+	c := analysis.NewChecker(nil)
 	for _, m := range []int{n - 1, n, 2*n - 1} {
 		if m < 1 {
 			continue
@@ -517,7 +518,8 @@ func Benes(n, r, trials int, seed int64) (*BenesResult, error) {
 				ok = false
 				break
 			}
-			if analysis.Check(a).HasContention() {
+			c.Analyze(a)
+			if c.HasContention() {
 				ok = false
 				break
 			}

@@ -148,6 +148,7 @@ func Fault(n, r, spares, trials int, seed int64) (*FaultResult, error) {
 	}
 	res := &FaultResult{N: n, R: r, M: m, Spares: spares, Trials: trials}
 	rng := rand.New(rand.NewSource(seed))
+	c := analysis.NewChecker(f.Net)
 	for k := 0; k <= spares+1; k++ {
 		row := FaultRow{Failures: k}
 		failed := map[int]bool{}
@@ -164,7 +165,8 @@ func Fault(n, r, spares, trials int, seed int64) (*FaultResult, error) {
 				row.AdaptiveOK = false
 				break
 			}
-			if analysis.Check(a).HasContention() {
+			c.Analyze(a)
+			if c.HasContention() {
 				row.AdaptiveOK = false
 				break
 			}

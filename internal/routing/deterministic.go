@@ -57,6 +57,33 @@ func (r *FtreeSinglePath) Route(p *permutation.Permutation) (*Assignment, error)
 	})
 }
 
+// AppendPairLinks implements PairLinkAppender: it appends the link IDs of
+// PathFor(src, dst) without building the Path, keeping verification sweeps
+// allocation-free.
+func (r *FtreeSinglePath) AppendPairLinks(src, dst int, buf []topology.LinkID) ([]topology.LinkID, error) {
+	n := r.F.N
+	if src < 0 || src >= r.F.Ports() || dst < 0 || dst >= r.F.Ports() {
+		return buf, fmt.Errorf("host index out of range: %d or %d", src, dst)
+	}
+	if src == dst {
+		return buf, nil
+	}
+	sv, sk := src/n, src%n
+	dv, dk := dst/n, dst%n
+	if sv == dv {
+		return append(buf, r.F.HostUpLink(sv, sk), r.F.HostDownLink(dv, dk)), nil
+	}
+	t := r.TopChoice(src, dst)
+	if t < 0 || t >= r.F.M {
+		return buf, fmt.Errorf("TopChoice(%d,%d) = %d out of [0,%d)", src, dst, t, r.F.M)
+	}
+	return append(buf,
+		r.F.HostUpLink(sv, sk),
+		r.F.UpLink(sv, t),
+		r.F.DownLink(t, dv),
+		r.F.HostDownLink(dv, dk)), nil
+}
+
 // NewPaperDeterministic returns the Theorem-3 routing algorithm for
 // ftree(n+m, r): SD pair (s = (v, i), d = (w, j)) is routed through top
 // switch (i, j) ≡ i·n+j. With m ≥ n² this routing is nonblocking for any

@@ -2,7 +2,6 @@ package routing
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/permutation"
 	"repro/internal/topology"
@@ -77,11 +76,12 @@ func (r *KAryRandomFixed) PathFor(src, dst int) (topology.Path, error) {
 	}
 	s, d := topology.NodeID(src), topology.NodeID(dst)
 	hops := r.T.NumUpHops(s, d)
-	rng := rand.New(rand.NewSource(r.seed ^ int64(src)<<20 ^ int64(dst)))
+	rng := pairRNG(r.seed, src, dst)
 	choices := make([]int, hops)
 	for l := range choices {
 		choices[l] = rng.Intn(r.T.K)
 	}
+	putPairRNG(rng)
 	return r.T.UpDownPath(s, d, choices)
 }
 

@@ -1,0 +1,69 @@
+package routing
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Per-pair seeded randomness for the random-fixed and spray routers.
+//
+// The seed for pair (src, dst) is a splitmix64-style hash of the router
+// seed and both endpoints. The previous derivation,
+// seed ^ src<<20 ^ dst, collided structurally: any dst ≥ 2^20 bled into
+// the source bits, and two pairs (s, d) and (s', d') with
+// s<<20 ^ d == s'<<20 ^ d' shared one RNG stream — silently correlating
+// "independent" random path choices on large networks. The full-width
+// avalanche of splitmix64 makes distinct (seed, src, dst) triples produce
+// unrelated streams.
+//
+// Generators are pooled and reseeded instead of constructed per routed
+// pair: seeding the splitmix source is a single store, so PathFor does no
+// RNG allocation in steady state and stays safe for concurrent use.
+
+// splitmix64 advances the SplitMix64 state and returns the mixed output
+// (Steele, Lea & Flood, OOPSLA 2014 — the java.util.SplittableRandom
+// finalizer).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// pairSeed hashes (seed, src, dst) into an RNG seed with no structural
+// collisions between distinct pairs.
+func pairSeed(seed int64, src, dst int) int64 {
+	s := uint64(seed)
+	h := splitmix64(&s)
+	s ^= h ^ uint64(src)
+	h = splitmix64(&s)
+	s ^= h ^ uint64(dst)
+	return int64(splitmix64(&s))
+}
+
+// splitmixSource is a rand.Source64 backed by SplitMix64: O(1) reseeding
+// (math/rand's default source pays a 607-word refill per Seed call) and
+// no allocation.
+type splitmixSource struct {
+	state uint64
+}
+
+func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
+func (s *splitmixSource) Uint64() uint64  { return splitmix64(&s.state) }
+func (s *splitmixSource) Int63() int64    { return int64(s.Uint64() >> 1) }
+
+var pairRNGPool = sync.Pool{
+	New: func() interface{} { return rand.New(new(splitmixSource)) },
+}
+
+// pairRNG returns a pooled generator deterministically seeded for
+// (seed, src, dst). Return it with putPairRNG when done; the generator
+// must not be retained afterwards.
+func pairRNG(seed int64, src, dst int) *rand.Rand {
+	rng := pairRNGPool.Get().(*rand.Rand)
+	rng.Seed(pairSeed(seed, src, dst))
+	return rng
+}
+
+func putPairRNG(rng *rand.Rand) { pairRNGPool.Put(rng) }

@@ -112,6 +112,22 @@ type MultiPairRouter interface {
 	PathsFor(src, dst int) ([]topology.Path, error)
 }
 
+// PairLinkAppender is the allocation-free fast path for contention
+// accounting: routers that can enumerate the links of one SD pair's path
+// set directly — without materializing Path or Assignment values — let
+// verification sweeps analyze a pattern with zero allocations per pair.
+// Implementations must report exactly the links PathFor/PathsFor would,
+// with identical error conditions and messages, so sweep results are
+// independent of which code path analyzed them.
+type PairLinkAppender interface {
+	Router
+	// AppendPairLinks appends every link of the pair's path set to buf
+	// and returns it. Self-pairs (src == dst) append nothing. Links of a
+	// multipath set may repeat; the accounting layer deduplicates per
+	// pair.
+	AppendPairLinks(src, dst int, buf []topology.LinkID) ([]topology.LinkID, error)
+}
+
 // routePairwise assembles an Assignment for a pattern using a per-pair
 // path-set function.
 func routePairwise(net *topology.Network, p *permutation.Permutation, pathsFor func(s, d int) ([]topology.Path, error)) (*Assignment, error) {

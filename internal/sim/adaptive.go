@@ -68,14 +68,16 @@ func RunFtreeAdaptive(f *topology.FoldedClos, p *permutation.Permutation, cfg Co
 	}
 	pairs := p.Pairs()
 	L := int64(cfg.PacketFlits)
+	// Dense per-link state, indexed by LinkID.
+	nLinks := f.Net.NumLinks()
 	res := &Result{
 		FlowFinish: make([]int64, len(pairs)),
-		LinkBusy:   make(map[topology.LinkID]int64),
+		LinkBusy:   make([]int64, nLinks),
 	}
 
-	linkFreeAt := make(map[topology.LinkID]int64)
-	queues := make(map[topology.LinkID][]*adaptPacket)
-	rrLast := make(map[topology.LinkID]int)
+	linkFreeAt := make([]int64, nLinks)
+	queues := make([][]*adaptPacket, nLinks)
+	rrLast := make([]int, nLinks)
 	var events eventHeap
 	var seq int64
 	push := func(t int64, linkFree bool, link topology.LinkID, pkt *adaptPacket) {

@@ -115,8 +115,9 @@ type Result struct {
 	TotalPackets int
 	// FlowFinish[i] is the delivery cycle of flow i's last packet.
 	FlowFinish []int64
-	// LinkBusy maps each used link to the cycles it spent transmitting.
-	LinkBusy map[topology.LinkID]int64
+	// LinkBusy[l] is the cycles link l spent transmitting, indexed by
+	// LinkID (dense; length is the network's NumLinks).
+	LinkBusy []int64
 	// SumLatency accumulates per-packet delivery times, for mean latency.
 	SumLatency int64
 	// Aborted is set when MaxCycles was hit before completion.
@@ -215,14 +216,14 @@ func Run(net *topology.Network, flows []Flow, cfg Config) (*Result, error) {
 	}
 
 	L := int64(cfg.PacketFlits)
+	// Dense per-link state: link IDs are small consecutive integers.
+	nLinks := net.NumLinks()
 	res := &Result{
 		FlowFinish: make([]int64, len(flows)),
-		LinkBusy:   make(map[topology.LinkID]int64),
+		LinkBusy:   make([]int64, nLinks),
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	// Dense per-link state: link IDs are small consecutive integers.
-	nLinks := net.NumLinks()
 	queues := make([][]*packet, nLinks)
 	linkFreeAt := make([]int64, nLinks)
 	rrLast := make([]int, nLinks) // last served flow per link

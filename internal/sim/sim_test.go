@@ -278,7 +278,7 @@ func TestResultHelpers(t *testing.T) {
 	if (&Result{Makespan: 10}).Slowdown(&Result{Makespan: 0}) != 1 {
 		t.Fatal("zero reference should give slowdown 1")
 	}
-	r = &Result{Makespan: 10, LinkBusy: map[topology.LinkID]int64{1: 5, 2: 8}}
+	r = &Result{Makespan: 10, LinkBusy: []int64{0, 5, 8}}
 	if got := r.MaxLinkUtilization(); got != 0.8 {
 		t.Fatalf("util = %v", got)
 	}
