@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal/experiments/
+	$(GO) test -race ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal/experiments/ ./internal/workload/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...

@@ -341,9 +341,10 @@ func BenchmarkWorstCaseSearch(b *testing.B) {
 	}
 }
 
-// BenchmarkOpenLoopSim times one full-load open-loop run on the
-// nonblocking network.
-func BenchmarkOpenLoopSim(b *testing.B) {
+// BenchmarkOpenLoop times one full-load open-loop run on the nonblocking
+// network — the dense-event-core hot path (pooled packets, value-based
+// heap, slice-indexed link state).
+func BenchmarkOpenLoop(b *testing.B) {
 	f := fclos.NewNonblockingFtree(3, 12)
 	r, err := fclos.NewPaperDeterministic(f)
 	if err != nil {
@@ -368,6 +369,36 @@ func BenchmarkOpenLoopSim(b *testing.B) {
 		if res.AcceptedLoad < 0.9 {
 			b.Fatalf("nonblocking accepted %.2f", res.AcceptedLoad)
 		}
+	}
+}
+
+// BenchmarkRunTrials times closed-loop random-permutation trials through
+// the sequential and parallel drivers; the parallel driver's output is
+// byte-identical to the sequential one.
+func BenchmarkRunTrials(b *testing.B) {
+	f := fclos.NewNonblockingFtree(3, 12)
+	r, err := fclos.NewPaperDeterministic(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fclos.SimConfig{PacketFlits: 4, PacketsPerPair: 8, Arbiter: fclos.ArbiterRoundRobin}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := fclos.RunTrialsParallel(f.Net, r, f.Ports(), 4, 1, bc.workers, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if res.Delivered != res.TotalPackets {
+						b.Fatal("lost packets")
+					}
+				}
+			}
+		})
 	}
 }
 

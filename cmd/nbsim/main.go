@@ -43,17 +43,18 @@ func main() {
 		pkts       = flag.Int("pkts", 8, "packets per SD pair")
 		arbiter    = flag.String("arbiter", "round-robin", "round-robin | oldest-first")
 		openloop   = flag.Bool("openloop", false, "open-loop rate sweep instead of closed-loop makespan (ftree single-path routings only)")
+		workers    = flag.Int("workers", 0, "parallel simulation workers; 0 = GOMAXPROCS, 1 = sequential")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, *topo, *n, *m, *r, *ports, *levels, *scheme, *sprayWidth,
-		*pattern, *trials, *seed, *flits, *pkts, *arbiter, *openloop); err != nil {
+		*pattern, *trials, *seed, *flits, *pkts, *arbiter, *openloop, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "nbsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(out io.Writer, topo string, n, m, r, ports, levels int, scheme string, sprayWidth int,
-	pattern string, trials int, seed int64, flits, pkts int, arbiter string, openloop bool) error {
+	pattern string, trials int, seed int64, flits, pkts int, arbiter string, openloop bool, workers int) error {
 	cfg := sim.Config{PacketFlits: flits, PacketsPerPair: pkts, Seed: seed}
 	switch arbiter {
 	case "round-robin":
@@ -145,8 +146,15 @@ func run(out io.Writer, topo string, n, m, r, ports, levels int, scheme string, 
 			Seed:            seed,
 			Arbiter:         cfg.Arbiter,
 		}
-		points, err := sim.LoadSweep(net, pairs, sim.PairPathsFunc(pr),
-			[]float64{0.2, 0.4, 0.6, 0.8, 1.0}, base)
+		rates := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+		// The parallel sweep is byte-identical to the sequential one.
+		var points []sim.LoadSweepPoint
+		var err error
+		if workers == 1 {
+			points, err = sim.LoadSweep(net, pairs, sim.PairPathsFunc(pr), rates, base)
+		} else {
+			points, err = sim.LoadSweepParallel(net, pairs, sim.PairPathsFunc(pr), rates, base)
+		}
 		if err != nil {
 			return err
 		}
@@ -160,7 +168,7 @@ func run(out io.Writer, topo string, n, m, r, ports, levels int, scheme string, 
 	}
 
 	if pattern == "random" {
-		sum, err := sim.CompareToCrossbar(net, router, hosts, trials, seed, cfg)
+		sum, err := sim.CompareToCrossbarParallel(net, router, hosts, trials, workers, seed, cfg)
 		if err != nil {
 			return err
 		}

@@ -25,8 +25,24 @@ func simRun(t *testing.T, args ...interface{}) (string, error) {
 		4,                 // pkts
 		args[10].(string), // arbiter
 		false,             // openloop
+		0,                 // workers
 	)
 	return buf.String(), err
+}
+
+func TestSimOpenLoopSweep(t *testing.T) {
+	var buf bytes.Buffer
+	for _, workers := range []int{1, 0} {
+		buf.Reset()
+		err := run(&buf, "ftree", 2, 0, 5, 20, 2, "paper", 0,
+			"random", 3, int64(1), 2, 4, "round-robin", true, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !strings.Contains(buf.String(), "open-loop sweep") {
+			t.Fatalf("workers=%d output: %s", workers, buf.String())
+		}
+	}
 }
 
 func TestSimRandomPaper(t *testing.T) {

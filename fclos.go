@@ -389,7 +389,17 @@ var (
 	CompareToCrossbar = sim.CompareToCrossbar
 	// FlowsFromAssignment adapts routing output for the simulator.
 	FlowsFromAssignment = sim.FlowsFromAssignment
-	// OpenLoop / LoadSweep run rate-injected (open-loop) simulations.
+	// RunTrials simulates seeded random permutations sequentially.
+	RunTrials = sim.RunTrials
+	// RunTrialsParallel / LoadSweepParallel / CompareToCrossbarParallel
+	// are the deterministic parallel drivers: worker pools whose merged
+	// output is byte-identical to the sequential counterparts.
+	RunTrialsParallel         = sim.RunTrialsParallel
+	LoadSweepParallel         = sim.LoadSweepParallel
+	CompareToCrossbarParallel = sim.CompareToCrossbarParallel
+	// OpenLoop / LoadSweep run rate-injected (open-loop) simulations;
+	// OpenLoopResult.Undelivered reports in-flight packets on saturated
+	// aborts.
 	OpenLoop  = sim.OpenLoop
 	LoadSweep = sim.LoadSweep
 	// PairPathsFunc / MultiPathsFunc / AssignmentPathsFunc adapt routers

@@ -13,6 +13,11 @@
 // All routers consume a permutation pattern over host indices and produce
 // an Assignment: the set of paths that will carry each SD pair's traffic.
 // Contention properties of assignments are judged by package analysis.
+//
+// Every router in this package is safe for concurrent Route/PathFor calls:
+// routing state is fixed at construction and per-call scratch is local.
+// The parallel simulation drivers (sim.RunTrialsParallel and friends) and
+// the parallel verification sweeps rely on this contract.
 package routing
 
 import (

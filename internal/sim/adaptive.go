@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/permutation"
@@ -47,18 +46,12 @@ func (m AdaptMode) String() string {
 	}
 }
 
-// adaptPacket is one packet routed adaptively.
-type adaptPacket struct {
-	flow int
-	idx  int
-	// stage: 0 = before host uplink, 1 = at source bottom switch,
-	// 2 = at top switch, 3 = at destination bottom switch, 4 = delivered.
-	stage int
-	top   int // chosen top switch, set at stage 1
-}
-
 // RunFtreeAdaptive simulates the permutation on f with per-packet adaptive
 // trunk selection. Intra-switch and self pairs short-circuit as usual.
+// Packets run on the shared event core; corePacket.hop is the pipeline
+// stage (0 = before host uplink, 1 = at source bottom switch, 2 = at top
+// switch, 3 = at destination bottom switch, 4 = delivered) and
+// corePacket.path the chosen top switch, set at stage 1.
 func RunFtreeAdaptive(f *topology.FoldedClos, p *permutation.Permutation, cfg Config, mode AdaptMode) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -68,47 +61,40 @@ func RunFtreeAdaptive(f *topology.FoldedClos, p *permutation.Permutation, cfg Co
 	}
 	pairs := p.Pairs()
 	L := int64(cfg.PacketFlits)
-	// Dense per-link state, indexed by LinkID.
 	nLinks := f.Net.NumLinks()
 	res := &Result{
 		FlowFinish: make([]int64, len(pairs)),
 		LinkBusy:   make([]int64, nLinks),
 	}
 
-	linkFreeAt := make([]int64, nLinks)
-	queues := make([][]*adaptPacket, nLinks)
-	rrLast := make([]int, nLinks)
-	var events eventHeap
-	var seq int64
-	push := func(t int64, linkFree bool, link topology.LinkID, pkt *adaptPacket) {
-		e := &event{time: t, isLinkFree: linkFree, link: link, adapt: pkt, seq: seq}
-		seq++
-		heap.Push(&events, e)
-	}
+	// keyFlowOrder: the adaptive engine's OldestFirst historically
+	// arbitrates by (flow, idx) alone.
+	c := newEventCore(nLinks, len(pairs), L, cfg.Arbiter, keyFlowOrder)
+	c.linkBusy = res.LinkBusy
 
-	deliver := func(pkt *adaptPacket, now int64) {
+	deliver := func(flow int32, now int64) {
 		res.Delivered++
 		res.SumLatency += now
 		if now > res.Makespan {
 			res.Makespan = now
 		}
-		if now > res.FlowFinish[pkt.flow] {
-			res.FlowFinish[pkt.flow] = now
+		if now > res.FlowFinish[flow] {
+			res.FlowFinish[flow] = now
 		}
 	}
 
 	// linkOf maps a packet's current stage to its next link.
-	linkOf := func(pkt *adaptPacket) topology.LinkID {
+	linkOf := func(pkt *corePacket) topology.LinkID {
 		pr := pairs[pkt.flow]
 		sv, sk := pr.Src/f.N, pr.Src%f.N
 		dv, dk := pr.Dst/f.N, pr.Dst%f.N
-		switch pkt.stage {
+		switch pkt.hop {
 		case 0:
 			return f.HostUpLink(sv, sk)
 		case 1:
-			return f.UpLink(sv, pkt.top)
+			return f.UpLink(sv, int(pkt.path))
 		case 2:
-			return f.DownLink(pkt.top, dv)
+			return f.DownLink(int(pkt.path), dv)
 		case 3:
 			return f.HostDownLink(dv, dk)
 		}
@@ -119,87 +105,46 @@ func RunFtreeAdaptive(f *topology.FoldedClos, p *permutation.Permutation, cfg Co
 	for fi, pr := range pairs {
 		for k := 0; k < cfg.PacketsPerPair; k++ {
 			res.TotalPackets++
-			pkt := &adaptPacket{flow: fi, idx: k}
 			if pr.Src == pr.Dst {
-				deliver(pkt, 0)
+				deliver(int32(fi), 0)
 				continue
 			}
-			push(0, false, 0, pkt)
+			c.pushPacket(0, c.newPacket(corePacket{flow: int32(fi), idx: int32(k)}))
 		}
 	}
 
-	start := func(l topology.LinkID, now int64) {
-		if linkFreeAt[l] > now {
-			return
-		}
-		q := queues[l]
-		if len(q) == 0 {
-			return
-		}
-		best := 0
-		switch cfg.Arbiter {
-		case OldestFirst:
-			for i := 1; i < len(q); i++ {
-				if q[i].flow < q[best].flow || (q[i].flow == q[best].flow && q[i].idx < q[best].idx) {
-					best = i
-				}
-			}
-		case RoundRobin:
-			last := rrLast[l]
-			bestKey := 1 << 30
-			for i, pk := range q {
-				key := pk.flow - last - 1
-				if key < 0 {
-					key += 1 << 20
-				}
-				if key < bestKey {
-					bestKey = key
-					best = i
-				}
-			}
-		}
-		pk := q[best]
-		queues[l] = append(q[:best], q[best+1:]...)
-		rrLast[l] = pk.flow
-		linkFreeAt[l] = now + L
-		res.LinkBusy[l] += L
-		pk.stage++
-		push(now+L, false, 0, pk)
-		push(now+L, true, l, nil)
-	}
-
-	for events.Len() > 0 {
-		e := heap.Pop(&events).(*event)
+	for !c.empty() {
+		e := c.pop()
 		if e.time > cfg.MaxCycles {
 			res.Aborted = true
 			break
 		}
-		if e.isLinkFree {
-			start(e.link, e.time)
+		if e.pkt == linkFreeEvent {
+			c.tryStart(e.link, e.time)
 			continue
 		}
-		pkt := e.adapt
+		pkt := &c.pkts[e.pkt]
 		pr := pairs[pkt.flow]
 		sv := pr.Src / f.N
 		dv := pr.Dst / f.N
-		if sv == dv && pkt.stage == 1 {
+		if sv == dv && pkt.hop == 1 {
 			// Intra-switch pair: bottom switch forwards straight down.
-			pkt.stage = 3
+			pkt.hop = 3
 		}
-		if pkt.stage == 4 {
-			deliver(pkt, e.time)
+		if pkt.hop == 4 {
+			deliver(pkt.flow, e.time)
 			continue
 		}
-		if pkt.stage == 1 && sv != dv {
+		if pkt.hop == 1 && sv != dv {
 			// The adaptive decision: pick the top switch whose relevant
 			// links free earliest (ties toward lower index rotated by
 			// packet idx to avoid herding).
 			bestT, bestCost := 0, int64(1<<62)
 			for off := 0; off < f.M; off++ {
-				t := (off + pkt.idx) % f.M
-				cost := linkFreeAt[f.UpLink(sv, t)] + int64(len(queues[f.UpLink(sv, t)]))*L
+				t := (off + int(pkt.idx)) % f.M
+				cost := c.linkFreeAt[f.UpLink(sv, t)] + int64(len(c.queues[f.UpLink(sv, t)]))*L
 				if mode == AdaptOracle {
-					dc := linkFreeAt[f.DownLink(t, dv)] + int64(len(queues[f.DownLink(t, dv)]))*L
+					dc := c.linkFreeAt[f.DownLink(t, dv)] + int64(len(c.queues[f.DownLink(t, dv)]))*L
 					if dc > cost {
 						cost = dc
 					}
@@ -208,11 +153,9 @@ func RunFtreeAdaptive(f *topology.FoldedClos, p *permutation.Permutation, cfg Co
 					bestCost, bestT = cost, t
 				}
 			}
-			pkt.top = bestT
+			pkt.path = int32(bestT)
 		}
-		l := linkOf(pkt)
-		queues[l] = append(queues[l], pkt)
-		start(l, e.time)
+		c.enqueue(linkOf(pkt), e.pkt, e.time)
 	}
 	return res, nil
 }

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Golden determinism tests: exact results captured from the pre-unification
+// engines (the hand-rolled per-engine heaps) on OldestFirst configurations,
+// which the dense event core reproduces byte-for-byte. Any drift in event
+// ordering, arbitration keys, or RNG call order shows up here as a hard
+// failure with the full before/after values. The RoundRobin goldens at the
+// bottom pin the FIXED arbiter of this PR (wrap modulo flow count, flow 0
+// eligible on a fresh link) and were captured from the unified core.
+
+func sumInt64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+type closedGolden struct {
+	makespan, sumLatency, flowFinishSum, linkBusySum int64
+	delivered                                        int
+}
+
+func checkClosedGolden(t *testing.T, name string, res *Result, want closedGolden) {
+	t.Helper()
+	got := closedGolden{
+		makespan:      res.Makespan,
+		sumLatency:    res.SumLatency,
+		flowFinishSum: sumInt64(res.FlowFinish),
+		linkBusySum:   sumInt64(res.LinkBusy),
+		delivered:     res.Delivered,
+	}
+	if res.Delivered != res.TotalPackets {
+		t.Errorf("%s: delivered %d of %d packets", name, res.Delivered, res.TotalPackets)
+	}
+	if got != want {
+		t.Errorf("%s:\n got  %+v\n want %+v", name, got, want)
+	}
+}
+
+func TestGoldenClosedLoopNonblocking(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 5)
+	r, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := permutation.SwitchShift(2, 5, 1)
+	_, res, err := RunPermutation(f.Net, r, p, Config{PacketFlits: 2, PacketsPerPair: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClosedGolden(t, "nonblocking/OldestFirst", res, closedGolden{
+		makespan: 22, sumLatency: 1200, flowFinishSum: 220, linkBusySum: 640, delivered: 80,
+	})
+}
+
+func TestGoldenClosedLoopContended(t *testing.T) {
+	f := topology.NewFoldedClos(3, 4, 4)
+	r := routing.NewDestMod(f)
+	p := permutation.LocalRotate(3, 4)
+	_, res, err := RunPermutation(f.Net, r, p, Config{PacketFlits: 3, PacketsPerPair: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClosedGolden(t, "contended/OldestFirst", res, closedGolden{
+		makespan: 21, sumLatency: 792, flowFinishSum: 252, linkBusySum: 576, delivered: 48,
+	})
+}
+
+func TestGoldenClosedLoopSpray(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 4)
+	r := routing.NewFullSpray(f)
+	p := permutation.SwitchShift(2, 4, 1)
+	_, res, err := RunPermutation(f.Net, r, p, Config{PacketFlits: 2, PacketsPerPair: 8, Spray: SprayRandom, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClosedGolden(t, "spray/OldestFirst", res, closedGolden{
+		makespan: 24, sumLatency: 1006, flowFinishSum: 184, linkBusySum: 512, delivered: 64,
+	})
+}
+
+func TestGoldenAdaptive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := topology.NewFoldedClos(2, 3, 6)
+	p := permutation.Random(rng, f.Ports())
+	want := map[AdaptMode]closedGolden{
+		AdaptLocal:  {makespan: 27, sumLatency: 837, flowFinishSum: 228, linkBusySum: 510, delivered: 60},
+		AdaptOracle: {makespan: 27, sumLatency: 825, flowFinishSum: 225, linkBusySum: 510, delivered: 60},
+	}
+	for _, mode := range []AdaptMode{AdaptLocal, AdaptOracle} {
+		res, err := RunFtreeAdaptive(f, p, Config{PacketFlits: 3, PacketsPerPair: 5}, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkClosedGolden(t, "adaptive/"+mode.String(), res, want[mode])
+	}
+}
+
+func TestGoldenOpenLoop(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 5)
+	r, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := permPairsFor(permutation.SwitchShift(2, 5, 1))
+	want := map[float64]OpenLoopResult{
+		0.3: {OfferedLoad: 0.3, AcceptedLoad: 0.21897810218978103, MeanLatency: 16, P99Latency: 16, Delivered: 300},
+		1.0: {OfferedLoad: 1, AcceptedLoad: 0.9090909090909092, MeanLatency: 16, P99Latency: 16, Delivered: 300},
+	}
+	for rate, w := range want {
+		res, err := OpenLoop(f.Net, pairs, PairPathsFunc(r), OpenLoopConfig{
+			PacketFlits: 4, Rate: rate, WarmupPackets: 5, MeasuredPackets: 30, Seed: 7, Arbiter: OldestFirst,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*res, w) {
+			t.Errorf("openloop rate=%.1f:\n got  %+v\n want %+v", rate, *res, w)
+		}
+	}
+}
+
+func TestGoldenOpenLoopSaturated(t *testing.T) {
+	f := topology.NewFoldedClos(2, 2, 3)
+	collide := &routing.FtreeSinglePath{F: f, RouterName: "collide", TopChoice: func(s, d int) int { return 0 }}
+	pairs := [][2]int{{0, 4}, {2, 5}}
+	// Both arbiters drain this 2-flow shared-downlink pattern on the same
+	// schedule, so the goldens coincide; the RoundRobin entry still pins the
+	// fixed wrap-modulo-flow-count arbiter against future drift.
+	want := OpenLoopResult{
+		OfferedLoad: 1, AcceptedLoad: 0.4111111111111111,
+		MeanLatency: 72.97297297297297, P99Latency: 108,
+		Delivered: 37, Undelivered: 23, Saturated: true,
+	}
+	for _, arb := range []Arbiter{OldestFirst, RoundRobin} {
+		res, err := OpenLoop(f.Net, pairs, PairPathsFunc(collide), OpenLoopConfig{
+			PacketFlits: 4, Rate: 1.0, WarmupPackets: 5, MeasuredPackets: 30, Seed: 7, Arbiter: arb, MaxCycles: 200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*res, want) {
+			t.Errorf("saturated/%v:\n got  %+v\n want %+v", arb, *res, want)
+		}
+	}
+}
+
+func TestGoldenClosedLoopRoundRobin(t *testing.T) {
+	// Pins the fixed round-robin arbiter on the contended dest-mod pattern.
+	f := topology.NewFoldedClos(3, 4, 4)
+	r := routing.NewDestMod(f)
+	p := permutation.LocalRotate(3, 4)
+	_, res, err := RunPermutation(f.Net, r, p, Config{PacketFlits: 3, PacketsPerPair: 4, Arbiter: RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClosedGolden(t, "contended/RoundRobin", res, closedGolden{
+		makespan: 21, sumLatency: 792, flowFinishSum: 252, linkBusySum: 576, delivered: 48,
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/routing"
 	"repro/internal/topology"
@@ -66,24 +67,20 @@ type OpenLoopResult struct {
 	P99Latency int64
 	// Delivered counts measured packets delivered.
 	Delivered int
+	// Undelivered counts packets (warmup and measured) still in flight
+	// when the run aborted at MaxCycles; 0 for completed runs.
+	Undelivered int
 	// Saturated is set when the run aborted at MaxCycles with packets
-	// outstanding.
+	// still outstanding: the network could not drain the offered load.
 	Saturated bool
-}
-
-// openPacket tracks one open-loop packet.
-type openPacket struct {
-	flow     int
-	injected int64
-	measured bool
-	hop      int
-	path     topology.Path
 }
 
 // OpenLoop simulates Bernoulli packet injection for the SD pairs of a full
 // permutation: host s sends to perm[s] at the configured rate. pathsFor
 // returns the candidate paths of a pair; one is chosen uniformly per
-// packet (single-path routers return one).
+// packet (single-path routers return one). The queueing runs on the same
+// dense event core as the closed-loop engines, with OldestFirst keyed on
+// the packet's injection cycle.
 func OpenLoop(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]topology.Path, error), cfg OpenLoopConfig) (*OpenLoopResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -125,144 +122,53 @@ func OpenLoop(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]
 		injections[i] = times
 	}
 
-	// Cycle-accurate queueing: reuse the closed-loop engine's semantics
-	// with per-packet release times. Implemented directly here with a
-	// simple time-ordered event loop.
-	type ev struct {
-		time       int64
-		isLinkFree bool
-		link       topology.LinkID
-		pkt        *openPacket
-		seq        int64
-	}
-	var events []*ev
-	var seq int64
-	push := func(e *ev) {
-		e.seq = seq
-		seq++
-		events = append(events, e)
-		// Sift up (binary heap by (time, !isLinkFree, seq)).
-		i := len(events) - 1
-		for i > 0 {
-			p := (i - 1) / 2
-			if less(events[i].time, events[i].isLinkFree, events[i].seq,
-				events[p].time, events[p].isLinkFree, events[p].seq) {
-				events[i], events[p] = events[p], events[i]
-				i = p
-			} else {
-				break
-			}
-		}
-	}
-	pop := func() *ev {
-		top := events[0]
-		last := len(events) - 1
-		events[0] = events[last]
-		events = events[:last]
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			m := i
-			if l < len(events) && less(events[l].time, events[l].isLinkFree, events[l].seq,
-				events[m].time, events[m].isLinkFree, events[m].seq) {
-				m = l
-			}
-			if r < len(events) && less(events[r].time, events[r].isLinkFree, events[r].seq,
-				events[m].time, events[m].isLinkFree, events[m].seq) {
-				m = r
-			}
-			if m == i {
-				break
-			}
-			events[i], events[m] = events[m], events[i]
-			i = m
-		}
-		return top
-	}
-
 	res := &OpenLoopResult{OfferedLoad: cfg.Rate}
-	queues := make(map[topology.LinkID][]*openPacket)
-	linkFreeAt := make(map[topology.LinkID]int64)
-	rrLast := make(map[topology.LinkID]int)
+	c := newEventCore(net.NumLinks(), len(pairs), L, cfg.Arbiter, keyInjection)
 	var latencies []int64
 	var firstMeasuredInjection, lastDelivery int64 = -1, 0
 
+	// outstanding counts packets injected into the network and not yet
+	// delivered; zero-hop (self-pair) packets never enter the network.
+	outstanding := 0
 	for fi := range pairs {
 		for k, t := range injections[fi] {
 			measured := k >= cfg.WarmupPackets
 			if measured && (firstMeasuredInjection == -1 || t < firstMeasuredInjection) {
 				firstMeasuredInjection = t
 			}
-			p := &openPacket{flow: fi, injected: t, measured: measured}
-			p.path = pathSets[fi][rng.Intn(len(pathSets[fi]))]
-			if p.path.Len() == 0 {
+			pathIdx := rng.Intn(len(pathSets[fi]))
+			if pathSets[fi][pathIdx].Len() == 0 {
 				if measured {
 					latencies = append(latencies, 0)
 					res.Delivered++
 				}
 				continue
 			}
-			push(&ev{time: t, pkt: p})
+			outstanding++
+			c.pushPacket(t, c.newPacket(corePacket{
+				flow: int32(fi), idx: int32(k), path: int32(pathIdx),
+				arbKey: t, injected: t, measured: measured,
+			}))
 		}
 	}
 
-	outstanding := 0
-	for _, inj := range injections {
-		outstanding += len(inj)
-	}
-
-	start := func(l topology.LinkID, now int64) {
-		if linkFreeAt[l] > now {
-			return
-		}
-		q := queues[l]
-		if len(q) == 0 {
-			return
-		}
-		best := 0
-		switch cfg.Arbiter {
-		case OldestFirst:
-			for i := 1; i < len(q); i++ {
-				if q[i].injected < q[best].injected ||
-					(q[i].injected == q[best].injected && q[i].flow < q[best].flow) {
-					best = i
-				}
-			}
-		case RoundRobin:
-			last := rrLast[l]
-			bestKey := 1 << 30
-			for i, p := range q {
-				key := p.flow - last - 1
-				if key < 0 {
-					key += 1 << 20
-				}
-				if key < bestKey {
-					bestKey = key
-					best = i
-				}
-			}
-		}
-		p := q[best]
-		queues[l] = append(q[:best], q[best+1:]...)
-		rrLast[l] = p.flow
-		linkFreeAt[l] = now + L
-		p.hop++
-		push(&ev{time: now + L, pkt: p})
-		push(&ev{time: now + L, isLinkFree: true, link: l})
-	}
-
-	for len(events) > 0 {
-		e := pop()
+	for !c.empty() {
+		e := c.pop()
 		if e.time > cfg.MaxCycles {
-			res.Saturated = true
+			// Abort: saturation means packets were still in flight, not
+			// merely that a (possibly vacuous) event sat beyond the
+			// horizon.
+			res.Saturated = outstanding > 0
+			res.Undelivered = outstanding
 			break
 		}
-		if e.isLinkFree {
-			start(e.link, e.time)
+		if e.pkt == linkFreeEvent {
+			c.tryStart(e.link, e.time)
 			continue
 		}
-		p := e.pkt
-		if p.hop >= p.path.Len() {
+		p := &c.pkts[e.pkt]
+		path := pathSets[p.flow][p.path]
+		if int(p.hop) >= path.Len() {
 			outstanding--
 			if p.measured {
 				res.Delivered++
@@ -273,9 +179,7 @@ func OpenLoop(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]
 			}
 			continue
 		}
-		l := p.path.Links[p.hop]
-		queues[l] = append(queues[l], p)
-		start(l, e.time)
+		c.enqueue(path.Links[p.hop], e.pkt, e.time)
 	}
 
 	if res.Delivered > 0 {
@@ -284,69 +188,35 @@ func OpenLoop(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]
 			sum += l
 		}
 		res.MeanLatency = float64(sum) / float64(res.Delivered)
-		// p99 by partial sort (latency slice is small per run).
 		res.P99Latency = percentile(latencies, 0.99)
 		window := lastDelivery - firstMeasuredInjection
-		if window > 0 {
+		switch {
+		case window > 0:
 			res.AcceptedLoad = float64(res.Delivered) * float64(L) / float64(window) / float64(len(pairs))
+		default:
+			// Degenerate measurement window (a single measured packet, or
+			// only zero-hop deliveries): every delivery kept pace with
+			// injection, so the accepted load equals the offered load
+			// rather than silently reporting 0.
+			res.AcceptedLoad = cfg.Rate
 		}
 	}
 	return res, nil
 }
 
-func less(t1 int64, lf1 bool, s1 int64, t2 int64, lf2 bool, s2 int64) bool {
-	if t1 != t2 {
-		return t1 < t2
-	}
-	if lf1 != lf2 {
-		return !lf1
-	}
-	return s1 < s2
-}
-
+// percentile returns the p-quantile of xs by full sort (measurement
+// windows are small per run).
 func percentile(xs []int64, p float64) int64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	// Insertion-free selection: copy and quickselect via sort for
-	// simplicity (measurement windows are small).
 	cp := append([]int64(nil), xs...)
-	sortInt64(cp)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
 	idx := int(math.Ceil(p * float64(len(cp)-1)))
 	if idx >= len(cp) {
 		idx = len(cp) - 1
 	}
 	return cp[idx]
-}
-
-func sortInt64(xs []int64) {
-	// Heapsort: in-place, no extra allocation, deterministic.
-	n := len(xs)
-	for i := n/2 - 1; i >= 0; i-- {
-		siftDown(xs, i, n)
-	}
-	for i := n - 1; i > 0; i-- {
-		xs[0], xs[i] = xs[i], xs[0]
-		siftDown(xs, 0, i)
-	}
-}
-
-func siftDown(xs []int64, i, n int) {
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && xs[l] > xs[m] {
-			m = l
-		}
-		if r < n && xs[r] > xs[m] {
-			m = r
-		}
-		if m == i {
-			return
-		}
-		xs[i], xs[m] = xs[m], xs[i]
-		i = m
-	}
 }
 
 // LoadSweepPoint is one offered-load sample of a sweep.

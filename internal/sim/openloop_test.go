@@ -200,6 +200,51 @@ func TestOpenLoopSelfPairsDeliverInstantly(t *testing.T) {
 	}
 }
 
+func TestOpenLoopSaturationReportsUndelivered(t *testing.T) {
+	// Aborting at MaxCycles with packets in flight must set Saturated and
+	// report the in-flight count; a completed run must report neither.
+	f := topology.NewFoldedClos(2, 2, 3)
+	collide := &routing.FtreeSinglePath{F: f, RouterName: "collide", TopChoice: func(s, d int) int { return 0 }}
+	pairs := [][2]int{{0, 4}, {2, 5}}
+	cfg := openCfg(1.0)
+	cfg.MaxCycles = 200
+	res, err := OpenLoop(f.Net, pairs, PairPathsFunc(collide), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated || res.Undelivered == 0 {
+		t.Fatalf("aborted run: Saturated=%v Undelivered=%d, want true and >0", res.Saturated, res.Undelivered)
+	}
+	full, err := OpenLoop(f.Net, pairs, PairPathsFunc(collide), openCfg(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Saturated || full.Undelivered != 0 {
+		t.Fatalf("completed run: Saturated=%v Undelivered=%d, want false and 0", full.Saturated, full.Undelivered)
+	}
+}
+
+func TestOpenLoopDegenerateWindowReportsOfferedLoad(t *testing.T) {
+	// Self-pairs deliver at their injection instant, so the measurement
+	// window is zero: the accepted load must equal the offered load (every
+	// delivery kept pace with injection) instead of silently reporting 0.
+	f := topology.NewFoldedClos(2, 4, 3)
+	r, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OpenLoop(f.Net, [][2]int{{1, 1}, {2, 2}}, PairPathsFunc(r), openCfg(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 60 {
+		t.Fatalf("delivered %d, want 60", res.Delivered)
+	}
+	if res.AcceptedLoad != res.OfferedLoad {
+		t.Fatalf("degenerate window: accepted %.3f, want offered %.3f", res.AcceptedLoad, res.OfferedLoad)
+	}
+}
+
 func TestPermPairsSkipsSelfAndUnused(t *testing.T) {
 	pairs := PermPairs([]int{1, 0, 2, -1})
 	if len(pairs) != 2 {
@@ -207,16 +252,12 @@ func TestPermPairsSkipsSelfAndUnused(t *testing.T) {
 	}
 }
 
-func TestSortAndPercentileHelpers(t *testing.T) {
-	xs := []int64{5, 1, 9, 3, 7}
-	sortInt64(xs)
-	for i := 1; i < len(xs); i++ {
-		if xs[i-1] > xs[i] {
-			t.Fatal("not sorted")
-		}
-	}
-	if percentile([]int64{10, 20, 30, 40}, 0.99) != 40 {
+func TestPercentileHelper(t *testing.T) {
+	if percentile([]int64{40, 10, 30, 20}, 0.99) != 40 {
 		t.Fatal("p99 wrong")
+	}
+	if percentile([]int64{40, 10, 30, 20}, 0.5) != 30 {
+		t.Fatal("p50 wrong")
 	}
 	if percentile(nil, 0.5) != 0 {
 		t.Fatal("empty percentile")

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Deterministic parallel drivers. Every router in this repository is safe
+// for concurrent Route/PathFor calls (routing state is per-call) and each
+// simulation run owns its event core, so trials and sweep points
+// parallelize with plain worker pools. Randomness is drawn sequentially up
+// front (the trial permutations) or re-seeded per run (the injection
+// processes), and shard results merge in sequential order, so the parallel
+// drivers are byte-identical to their sequential counterparts — including
+// the reported error, which is always the sequential-order first.
+
+// RunTrials routes and simulates `trials` seeded random full permutations
+// (closed loop) and returns the per-trial results in order — the
+// many-pattern counterpart of RunPermutation.
+func RunTrials(net *topology.Network, r routing.Router, hosts, trials int, seed int64, cfg Config) ([]*Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	results := make([]*Result, trials)
+	for i := 0; i < trials; i++ {
+		p := permutation.Random(rng, hosts)
+		_, res, err := RunPermutation(net, r, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// RunTrialsParallel is RunTrials over a worker pool: the permutations are
+// drawn sequentially from the seed (the same stream as RunTrials), the
+// simulations shard across `workers` goroutines, and results merge in
+// trial order, so the output is byte-identical to the sequential driver.
+// workers ≤ 0 selects GOMAXPROCS.
+func RunTrialsParallel(net *topology.Network, r routing.Router, hosts, trials int, seed int64, workers int, cfg Config) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		return RunTrials(net, r, hosts, trials, seed, cfg)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perms := make([]*permutation.Permutation, trials)
+	for i := range perms {
+		perms[i] = permutation.Random(rng, hosts)
+	}
+	results := make([]*Result, trials)
+	errs := make([]error, trials)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				_, res, err := RunPermutation(net, r, perms[i], cfg)
+				results[i], errs[i] = res, err
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	// Sequential-order first error: trials are independent, so the
+	// lowest-index failure is exactly what RunTrials reports.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// LoadSweepParallel is LoadSweep with one goroutine per offered load. Each
+// OpenLoop run derives all randomness from its own seeded generator and
+// points merge in rate order, so the curve is byte-identical to the
+// sequential sweep. pathsFor must be safe for concurrent calls; every
+// router adapter in this package is.
+func LoadSweepParallel(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]topology.Path, error), rates []float64, base OpenLoopConfig) ([]LoadSweepPoint, error) {
+	points := make([]LoadSweepPoint, len(rates))
+	errs := make([]error, len(rates))
+	var wg sync.WaitGroup
+	for i, rate := range rates {
+		wg.Add(1)
+		go func(i int, rate float64) {
+			defer wg.Done()
+			cfg := base
+			cfg.Rate = rate
+			res, err := OpenLoop(net, pairs, pathsFor, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			points[i] = LoadSweepPoint{
+				OfferedLoad:  rate,
+				AcceptedLoad: res.AcceptedLoad,
+				MeanLatency:  res.MeanLatency,
+				P99Latency:   res.P99Latency,
+				Saturated:    res.Saturated,
+			}
+		}(i, rate)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// CompareToCrossbarParallel is CompareToCrossbar over a worker pool: the
+// trial permutations are drawn sequentially from the seed, each trial's
+// network and crossbar-reference runs execute on a worker, and the
+// slowdowns accumulate in trial order — so the summary (every float
+// included) is byte-identical to the sequential comparison. workers ≤ 0
+// selects GOMAXPROCS.
+func CompareToCrossbarParallel(net *topology.Network, r routing.Router, hosts, trials, workers int, seed int64, cfg Config) (*ThroughputSummary, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		return CompareToCrossbar(net, r, hosts, trials, seed, cfg)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perms := make([]*permutation.Permutation, trials)
+	for i := range perms {
+		perms[i] = permutation.Random(rng, hosts)
+	}
+	slowdowns := make([]float64, trials)
+	errs := make([]error, trials)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				_, res, err := RunPermutation(net, r, perms[i], cfg)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				ref, err := CrossbarReference(hosts, perms[i], cfg)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				slowdowns[i] = res.Slowdown(ref)
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sum := &ThroughputSummary{Patterns: trials}
+	for _, s := range slowdowns {
+		sum.MeanSlowdown += s
+		sum.MeanRelThroughput += 1 / s
+		if s > sum.MaxSlowdown {
+			sum.MaxSlowdown = s
+		}
+	}
+	if trials > 0 {
+		sum.MeanSlowdown /= float64(trials)
+		sum.MeanRelThroughput /= float64(trials)
+		sorted := append([]float64(nil), slowdowns...)
+		sort.Float64s(sorted)
+		sum.MedianSlowdown = sorted[len(sorted)/2]
+	}
+	return sum, nil
+}

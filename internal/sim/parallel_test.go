@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// The parallel drivers promise byte-identical output to their sequential
+// counterparts: permutations are pre-drawn from the same seed stream and
+// shard results merge in sequential order. These tests assert exact
+// equality (every float, every slice) and run under -race in CI.
+
+func TestRunTrialsParallelMatchesSequential(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 6)
+	r, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{PacketFlits: 4, PacketsPerPair: 4, Arbiter: RoundRobin}
+	seq, err := RunTrials(f.Net, r, f.Ports(), 9, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 5, 16} {
+		par, err := RunTrialsParallel(f.Net, r, f.Ports(), 9, 3, workers, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("workers=%d: parallel trials diverge from sequential", workers)
+		}
+	}
+}
+
+func TestRunTrialsParallelSequentialFirstError(t *testing.T) {
+	// A router that fails on routing must surface the same (first) error as
+	// the sequential driver regardless of which worker hits it.
+	f := topology.NewFoldedClos(2, 2, 3)
+	bad := &routing.FtreeSinglePath{F: f, RouterName: "bad", TopChoice: func(s, d int) int { return 99 }}
+	cfg := Config{PacketFlits: 2, PacketsPerPair: 1}
+	_, errSeq := RunTrials(f.Net, bad, f.Ports(), 4, 1, cfg)
+	if errSeq == nil {
+		t.Fatal("expected sequential error")
+	}
+	_, errPar := RunTrialsParallel(f.Net, bad, f.Ports(), 4, 1, 4, cfg)
+	if errPar == nil {
+		t.Fatal("expected parallel error")
+	}
+	if errPar.Error() != errSeq.Error() {
+		t.Fatalf("parallel error %q, sequential %q", errPar, errSeq)
+	}
+}
+
+func TestLoadSweepParallelMatchesSequential(t *testing.T) {
+	f := topology.NewFoldedClos(2, 2, 4)
+	r := routing.NewDestMod(f)
+	pairs := permPairsFor(permutation.LocalRotate(2, 4))
+	rates := []float64{0.1, 0.3, 0.5, 0.8, 1.0}
+	base := openCfg(0)
+	seq, err := LoadSweep(f.Net, pairs, PairPathsFunc(r), rates, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := LoadSweepParallel(f.Net, pairs, PairPathsFunc(r), rates, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, seq) {
+		t.Fatalf("parallel sweep diverges:\n par %+v\n seq %+v", par, seq)
+	}
+}
+
+func TestCompareToCrossbarParallelMatchesSequential(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 6)
+	r := routing.NewDestMod(f)
+	cfg := Config{PacketFlits: 4, PacketsPerPair: 2}
+	seq, err := CompareToCrossbar(f.Net, r, f.Ports(), 7, 11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 3} {
+		par, err := CompareToCrossbarParallel(f.Net, r, f.Ports(), 7, workers, 11, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("workers=%d: summary diverges:\n par %+v\n seq %+v", workers, par, seq)
+		}
+	}
+}

@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -155,50 +154,6 @@ func (r *Result) Slowdown(reference *Result) float64 {
 	return float64(r.Makespan) / float64(reference.Makespan)
 }
 
-// packet is one in-flight packet.
-type packet struct {
-	flow    int
-	idx     int   // packet index within the flow
-	path    int   // chosen path within the flow's set
-	hop     int   // next link index in the path
-	readyAt int64 // cycle at which it is fully received at current node
-}
-
-// event is a simulator event: a packet becoming ready to compete for its
-// next link, or a link becoming free.
-type event struct {
-	time int64
-	// link events run after packet-ready events at the same cycle so a
-	// freed link sees every packet that arrived this cycle.
-	isLinkFree bool
-	link       topology.LinkID
-	pkt        *packet
-	adapt      *adaptPacket // set by the adaptive engine instead of pkt
-	seq        int64        // tie-break for determinism
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	if h[i].isLinkFree != h[j].isLinkFree {
-		return !h[i].isLinkFree // packet arrivals first
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // Run simulates the flows over the network and returns the metrics.
 func Run(net *topology.Network, flows []Flow, cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
@@ -216,7 +171,6 @@ func Run(net *topology.Network, flows []Flow, cfg Config) (*Result, error) {
 	}
 
 	L := int64(cfg.PacketFlits)
-	// Dense per-link state: link IDs are small consecutive integers.
 	nLinks := net.NumLinks()
 	res := &Result{
 		FlowFinish: make([]int64, len(flows)),
@@ -224,35 +178,17 @@ func Run(net *topology.Network, flows []Flow, cfg Config) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	queues := make([][]*packet, nLinks)
-	linkFreeAt := make([]int64, nLinks)
-	rrLast := make([]int, nLinks) // last served flow per link
-	var events eventHeap
-	var seq int64
-	var free []*event // event freelist: reuse between hops
-	alloc := func() *event {
-		if n := len(free); n > 0 {
-			e := free[n-1]
-			free = free[:n-1]
-			*e = event{}
-			return e
-		}
-		return &event{}
-	}
-	push := func(e *event) {
-		e.seq = seq
-		seq++
-		heap.Push(&events, e)
-	}
+	c := newEventCore(nLinks, len(flows), L, cfg.Arbiter, keyReadyAt)
+	c.linkBusy = res.LinkBusy
 
-	deliver := func(p *packet, now int64) {
+	deliver := func(flow int32, now int64) {
 		res.Delivered++
 		res.SumLatency += now
 		if now > res.Makespan {
 			res.Makespan = now
 		}
-		if now > res.FlowFinish[p.flow] {
-			res.FlowFinish[p.flow] = now
+		if now > res.FlowFinish[flow] {
+			res.FlowFinish[flow] = now
 		}
 	}
 
@@ -267,86 +203,31 @@ func Run(net *topology.Network, flows []Flow, cfg Config) (*Result, error) {
 			case SprayRandom:
 				pathIdx = rng.Intn(len(f.Paths))
 			}
-			p := &packet{flow: fi, idx: k, path: pathIdx}
-			if flows[fi].Paths[pathIdx].Len() == 0 {
-				deliver(p, 0) // self-pair: no network traversal
+			if f.Paths[pathIdx].Len() == 0 {
+				deliver(int32(fi), 0) // self-pair: no network traversal
 				continue
 			}
-			e := alloc()
-			e.pkt = p
-			push(e)
+			c.pushPacket(0, c.newPacket(corePacket{flow: int32(fi), idx: int32(k), path: int32(pathIdx)}))
 		}
 	}
 
-	startIfPossible := func(l topology.LinkID, now int64) {
-		if linkFreeAt[l] > now {
-			return
-		}
-		q := queues[l]
-		if len(q) == 0 {
-			return
-		}
-		best := 0
-		switch cfg.Arbiter {
-		case OldestFirst:
-			for i := 1; i < len(q); i++ {
-				a, b := q[i], q[best]
-				if a.readyAt < b.readyAt ||
-					(a.readyAt == b.readyAt && (a.flow < b.flow || (a.flow == b.flow && a.idx < b.idx))) {
-					best = i
-				}
-			}
-		case RoundRobin:
-			// Next flow strictly after the last served one, cyclically.
-			last := rrLast[l]
-			bestKey := 1 << 30
-			for i, p := range q {
-				key := p.flow - last - 1
-				if key < 0 {
-					key += 1 << 20 // wrap below current flows
-				}
-				if key < bestKey || (key == bestKey && p.idx < q[best].idx) {
-					bestKey = key
-					best = i
-				}
-			}
-		}
-		p := q[best]
-		queues[l] = append(q[:best], q[best+1:]...)
-		rrLast[l] = p.flow
-		linkFreeAt[l] = now + L
-		res.LinkBusy[l] += L
-		p.hop++
-		p.readyAt = now + L
-		e := alloc()
-		e.time, e.pkt = now+L, p
-		push(e)
-		e = alloc()
-		e.time, e.isLinkFree, e.link = now+L, true, l
-		push(e)
-	}
-
-	for events.Len() > 0 {
-		e := heap.Pop(&events).(*event)
+	for !c.empty() {
+		e := c.pop()
 		if e.time > cfg.MaxCycles {
 			res.Aborted = true
 			break
 		}
-		if e.isLinkFree {
-			startIfPossible(e.link, e.time)
-			free = append(free, e)
+		if e.pkt == linkFreeEvent {
+			c.tryStart(e.link, e.time)
 			continue
 		}
-		p := e.pkt
-		free = append(free, e)
+		p := &c.pkts[e.pkt]
 		path := flows[p.flow].Paths[p.path]
-		if p.hop >= path.Len() {
-			deliver(p, e.time)
+		if int(p.hop) >= path.Len() {
+			deliver(p.flow, e.time)
 			continue
 		}
-		l := path.Links[p.hop]
-		queues[l] = append(queues[l], p)
-		startIfPossible(l, e.time)
+		c.enqueue(path.Links[p.hop], e.pkt, e.time)
 	}
 	return res, nil
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/analysis"
 	"repro/internal/permutation"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -175,6 +176,9 @@ func Run(net *topology.Network, r routing.Router, w *Workload, cfg sim.Config) (
 		return nil, err
 	}
 	res := &Result{Workload: w.Name, Router: r.Name()}
+	// One flat-array Checker amortizes its contention-accounting scratch
+	// over all phases (analysis-package hot path; see analysis.Checker).
+	chk := analysis.NewChecker(net)
 	for _, phase := range w.Phases {
 		a, err := r.Route(phase)
 		if err != nil {
@@ -184,7 +188,8 @@ func Run(net *topology.Network, r routing.Router, w *Workload, cfg sim.Config) (
 		if err != nil {
 			return nil, err
 		}
-		pr := PhaseResult{Makespan: out.Makespan, ContendedLinks: contendedLinks(a)}
+		chk.Analyze(a)
+		pr := PhaseResult{Makespan: out.Makespan, ContendedLinks: chk.ContendedCount()}
 		res.Phases = append(res.Phases, pr)
 		res.TotalCycles += out.Makespan
 	}
@@ -213,28 +218,6 @@ func (r *Result) ContendedPhases() int {
 	c := 0
 	for _, p := range r.Phases {
 		if p.ContendedLinks > 0 {
-			c++
-		}
-	}
-	return c
-}
-
-// contendedLinks counts directed links carried by more than one SD pair.
-func contendedLinks(a *routing.Assignment) int {
-	load := map[topology.LinkID]map[int]bool{}
-	for i, ps := range a.PathSets {
-		for _, p := range ps {
-			for _, l := range p.Links {
-				if load[l] == nil {
-					load[l] = map[int]bool{}
-				}
-				load[l][i] = true
-			}
-		}
-	}
-	c := 0
-	for _, pairs := range load {
-		if len(pairs) > 1 {
 			c++
 		}
 	}

@@ -8,6 +8,57 @@ import (
 	"repro/internal/topology"
 )
 
+// contendedLinksOracle is the verbatim pre-PR nested-map implementation of
+// per-phase contention counting, kept as the oracle for the flat-array
+// analysis.Checker accounting Run now uses.
+func contendedLinksOracle(a *routing.Assignment) int {
+	load := map[topology.LinkID]map[int]bool{}
+	for i, ps := range a.PathSets {
+		for _, p := range ps {
+			for _, l := range p.Links {
+				if load[l] == nil {
+					load[l] = map[int]bool{}
+				}
+				load[l][i] = true
+			}
+		}
+	}
+	c := 0
+	for _, pairs := range load {
+		if len(pairs) > 1 {
+			c++
+		}
+	}
+	return c
+}
+
+func TestContendedLinksMatchesMapOracle(t *testing.T) {
+	f := topology.NewFoldedClos(2, 4, 5)
+	paper, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routers := []routing.Router{paper, routing.NewDestMod(f), routing.NewSourceMod(f)}
+	for _, w := range []*Workload{AllToAll(f.Ports()), RandomPhases(f.Ports(), 6, 3), RingExchange(f.Ports())} {
+		for _, r := range routers {
+			res, err := Run(f.Net, r, w, sim.Config{PacketFlits: 2, PacketsPerPair: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pi, phase := range w.Phases {
+				a, err := r.Route(phase)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := contendedLinksOracle(a); res.Phases[pi].ContendedLinks != want {
+					t.Errorf("%s/%s phase %d: ContendedLinks=%d, oracle=%d",
+						w.Name, r.Name(), pi, res.Phases[pi].ContendedLinks, want)
+				}
+			}
+		}
+	}
+}
+
 func TestGeneratorsValid(t *testing.T) {
 	cases := []*Workload{
 		AllToAll(10),
