@@ -2,7 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench report tables examples clean
+# Single source of truth for the race-detector package list; CI runs
+# `make race` so the two can never drift.
+RACE_PKGS ?= ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal/experiments/ ./internal/workload/
+
+# Per-target budget for the fuzz smoke pass (`go test -fuzz` accepts one
+# target per invocation).
+FUZZTIME ?= 30s
+FUZZ_TARGETS := FuzzEdgeColorBipartite FuzzBenesLooping
+
+.PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke report tables examples clean
 
 all: build test
 
@@ -14,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal/experiments/ ./internal/workload/
+	$(GO) test -race $(RACE_PKGS)
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -22,6 +31,24 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' . ./internal/...
+
+# Refresh the committed benchmark baseline (run on a quiet machine).
+bench-json:
+	$(GO) run ./cmd/nbbench -out BENCH_sim.json
+
+# CI regression gate: measure and compare against the committed baseline.
+# Fails on >25% ns/op or any allocs/op regression; writes the fresh
+# measurement next to the baseline for artifact upload.
+bench-gate:
+	$(GO) run ./cmd/nbbench -baseline BENCH_sim.json -out BENCH_fresh.json
+
+# Short fuzz pass over the routing invariant targets (seed corpus plus
+# $(FUZZTIME) of new inputs per target).
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/routing/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
 
 # Regenerate the full experiment report (EXPERIMENTS.md's backing artifact).
 report:
@@ -38,4 +65,4 @@ examples:
 	$(GO) run ./examples/collectives
 
 clean:
-	rm -f cover.out report.md test_output.txt bench_output.txt
+	rm -f cover.out report.md test_output.txt bench_output.txt BENCH_fresh.json

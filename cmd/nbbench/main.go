@@ -1,0 +1,320 @@
+// Command nbbench runs the repository's key simulator benchmarks through
+// testing.Benchmark, emits a stable JSON report, and gates performance
+// regressions against a committed baseline — the engine behind the CI
+// bench-gate job (see .github/workflows/ci.yml and EXPERIMENTS.md).
+//
+// The four benchmarks mirror their bench_test.go namesakes: the
+// randomized and exhaustive verification sweeps (the flat-array
+// contention-accounting hot path), the full-load open-loop run (the dense
+// event core hot path), and a 4-trial closed-loop driver pass.
+//
+// Usage:
+//
+//	nbbench -out BENCH_sim.json                  # measure, write baseline
+//	nbbench -baseline BENCH_sim.json             # measure, gate (CI)
+//	nbbench -baseline BENCH_sim.json -out fresh.json
+//
+// The gate fails when any benchmark exceeds the baseline ns/op by more
+// than -max-ns-regress (default 25%) or allocates more per op than the
+// baseline at all: allocation counts are deterministic, so any increase
+// is a real regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	fclos "repro"
+)
+
+// benchSchemaVersion identifies the BENCH_sim.json layout; bump on any
+// incompatible change to benchFile/benchResult.
+const benchSchemaVersion = 1
+
+// benchResult is one benchmark's measurement: min-of-reps timing, the
+// deterministic allocation profile, and a payload of simulator metrics
+// (accepted load, utilization, makespans) that double as correctness
+// anchors for the numbers being timed.
+type benchResult struct {
+	Name     string             `json:"name"`
+	NsPerOp  float64            `json:"ns_op"`
+	BytesOp  int64              `json:"bytes_op"`
+	AllocsOp int64              `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchFile is the on-disk schema of BENCH_sim.json.
+type benchFile struct {
+	Schema  int           `json:"schema"`
+	Go      string        `json:"go"`
+	Results []benchResult `json:"results"`
+}
+
+// benchmark pairs a benchmark body with the deterministic metrics payload
+// its setup computed.
+type benchmark struct {
+	name string
+	fn   func(b *testing.B)
+	met  map[string]float64
+}
+
+// buildBenchmarks constructs the gated benchmark set. Configurations
+// mirror bench_test.go exactly so `go test -bench` and nbbench time the
+// same work.
+func buildBenchmarks() ([]benchmark, error) {
+	var benches []benchmark
+
+	// SweepRandom: randomized Lemma-1 verification on the Table-I network.
+	{
+		f := fclos.NewFoldedClos(4, 16, 20)
+		r, err := fclos.NewPaperDeterministic(f)
+		if err != nil {
+			return nil, err
+		}
+		hosts := f.Ports()
+		benches = append(benches, benchmark{
+			name: "SweepRandom",
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if !fclos.SweepRandom(r, hosts, 10, 1).Nonblocking() {
+						b.Fatal("paper routing blocked")
+					}
+				}
+			},
+			met: map[string]float64{"trials": 10},
+		})
+	}
+
+	// SweepExhaustive: all 8! permutations of ftree(4+16, 2).
+	{
+		f := fclos.NewFoldedClos(4, 16, 2)
+		r, err := fclos.NewPaperDeterministic(f)
+		if err != nil {
+			return nil, err
+		}
+		hosts := f.Ports()
+		benches = append(benches, benchmark{
+			name: "SweepExhaustive",
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if !fclos.SweepExhaustive(r, hosts).Nonblocking() {
+						b.Fatal("paper routing blocked")
+					}
+				}
+			},
+		})
+	}
+
+	// OpenLoop: one full-load open-loop run on the nonblocking network.
+	{
+		f := fclos.NewNonblockingFtree(3, 12)
+		r, err := fclos.NewPaperDeterministic(f)
+		if err != nil {
+			return nil, err
+		}
+		p := fclos.SwitchShiftPerm(3, 12, 1)
+		dst := make([]int, p.N())
+		for i := 0; i < p.N(); i++ {
+			dst[i] = p.Dst(i)
+		}
+		pairs := fclos.PermPairs(dst)
+		cfg := fclos.OpenLoopConfig{
+			PacketFlits: 4, Rate: 1.0, WarmupPackets: 10, MeasuredPackets: 50,
+			Seed: 1, Arbiter: fclos.ArbiterRoundRobin,
+		}
+		// One metered run anchors the numbers the benchmark re-validates.
+		mcfg := cfg
+		mcfg.Collector = fclos.NewMetricsCollector()
+		mres, err := fclos.OpenLoop(f.Net, pairs, fclos.PairPathsFunc(r), mcfg)
+		if err != nil {
+			return nil, err
+		}
+		benches = append(benches, benchmark{
+			name: "OpenLoop",
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := fclos.OpenLoop(f.Net, pairs, fclos.PairPathsFunc(r), cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.AcceptedLoad < 0.9 {
+						b.Fatalf("nonblocking accepted %.2f", res.AcceptedLoad)
+					}
+				}
+			},
+			met: map[string]float64{
+				"accepted_load":        mres.AcceptedLoad,
+				"p99_latency":          float64(mres.P99Latency),
+				"max_link_utilization": mres.Metrics.MaxUtilization(),
+			},
+		})
+	}
+
+	// ClosedLoop4Trial: the sequential trial driver over 4 random
+	// permutations.
+	{
+		f := fclos.NewNonblockingFtree(3, 12)
+		r, err := fclos.NewPaperDeterministic(f)
+		if err != nil {
+			return nil, err
+		}
+		hosts := f.Ports()
+		cfg := fclos.SimConfig{PacketFlits: 4, PacketsPerPair: 8, Arbiter: fclos.ArbiterRoundRobin}
+		trials, err := fclos.RunTrials(f.Net, r, hosts, 4, 1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		var makespan int64
+		for _, res := range trials {
+			makespan += res.Makespan
+		}
+		benches = append(benches, benchmark{
+			name: "ClosedLoop4Trial",
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					results, err := fclos.RunTrials(f.Net, r, hosts, 4, 1, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, res := range results {
+						if res.Delivered != res.TotalPackets {
+							b.Fatal("lost packets")
+						}
+					}
+				}
+			},
+			met: map[string]float64{"total_makespan": float64(makespan)},
+		})
+	}
+	return benches, nil
+}
+
+// measure runs bm reps times under testing.Benchmark and keeps the
+// minimum per-op numbers: min-of-N filters scheduler noise, which only
+// ever slows a run down.
+func measure(bm benchmark, reps int) benchResult {
+	out := benchResult{Name: bm.name, Metrics: bm.met}
+	for i := 0; i < reps; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bm.fn(b)
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if i == 0 || ns < out.NsPerOp {
+			out.NsPerOp = ns
+		}
+		if a := r.AllocsPerOp(); i == 0 || a < out.AllocsOp {
+			out.AllocsOp = a
+		}
+		if by := r.AllocedBytesPerOp(); i == 0 || by < out.BytesOp {
+			out.BytesOp = by
+		}
+	}
+	return out
+}
+
+// gate compares fresh against baseline and returns one violation string
+// per regression: ns/op beyond the threshold fraction, any allocs/op
+// increase, or a baseline benchmark missing from the fresh run.
+func gate(baseline, fresh *benchFile, nsThreshold float64) []string {
+	var violations []string
+	byName := make(map[string]benchResult, len(fresh.Results))
+	for _, r := range fresh.Results {
+		byName[r.Name] = r
+	}
+	for _, b := range baseline.Results {
+		f, ok := byName[b.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: in baseline but not measured", b.Name))
+			continue
+		}
+		if b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*(1+nsThreshold) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%",
+				b.Name, f.NsPerOp, b.NsPerOp, nsThreshold*100))
+		}
+		if f.AllocsOp > b.AllocsOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d allocs/op regresses baseline %d allocs/op",
+				b.Name, f.AllocsOp, b.AllocsOp))
+		}
+	}
+	return violations
+}
+
+func readBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.Schema != benchSchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, want %d", path, bf.Schema, benchSchemaVersion)
+	}
+	return &bf, nil
+}
+
+func writeBenchFile(path string, bf *benchFile) error {
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(out io.Writer, outPath, baselinePath string, reps int, nsThreshold float64) error {
+	benches, err := buildBenchmarks()
+	if err != nil {
+		return err
+	}
+	fresh := &benchFile{Schema: benchSchemaVersion, Go: runtime.Version()}
+	for _, bm := range benches {
+		res := measure(bm, reps)
+		fmt.Fprintf(out, "%-18s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesOp, res.AllocsOp)
+		fresh.Results = append(fresh.Results, res)
+	}
+	if outPath != "" {
+		if err := writeBenchFile(outPath, fresh); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", outPath)
+	}
+	if baselinePath != "" {
+		baseline, err := readBenchFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		if violations := gate(baseline, fresh, nsThreshold); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(out, "REGRESSION:", v)
+			}
+			return fmt.Errorf("%d benchmark regression(s) against %s", len(violations), baselinePath)
+		}
+		fmt.Fprintf(out, "gate passed against %s (ns/op threshold %.0f%%, allocs exact)\n",
+			baselinePath, nsThreshold*100)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		outPath      = flag.String("out", "", "write the measured results as JSON to this path")
+		baselinePath = flag.String("baseline", "", "gate the measured results against this JSON baseline")
+		reps         = flag.Int("reps", 3, "benchmark repetitions; min-of-reps is reported")
+		nsRegress    = flag.Float64("max-ns-regress", 0.25, "allowed fractional ns/op regression before the gate fails")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *outPath, *baselinePath, *reps, *nsRegress); err != nil {
+		fmt.Fprintln(os.Stderr, "nbbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func result(name string, ns float64, allocs int64) benchResult {
+	return benchResult{Name: name, NsPerOp: ns, AllocsOp: allocs}
+}
+
+func file(results ...benchResult) *benchFile {
+	return &benchFile{Schema: benchSchemaVersion, Go: "go-test", Results: results}
+}
+
+func TestGatePassesAgainstItself(t *testing.T) {
+	bf := file(result("OpenLoop", 1000, 340), result("SweepRandom", 500, 933))
+	if v := gate(bf, bf, 0.25); len(v) != 0 {
+		t.Fatalf("self-comparison produced violations: %v", v)
+	}
+}
+
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	baseline := file(result("OpenLoop", 1000, 340))
+	// A 2x slowdown is far past the 25% threshold and must trip the gate.
+	slow := file(result("OpenLoop", 2000, 340))
+	v := gate(baseline, slow, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "ns/op") {
+		t.Fatalf("2x slowdown not caught: %v", v)
+	}
+	// 20% stays inside the threshold.
+	if v := gate(baseline, file(result("OpenLoop", 1200, 340)), 0.25); len(v) != 0 {
+		t.Fatalf("20%% regression tripped a 25%% gate: %v", v)
+	}
+	// Just past the threshold trips it.
+	if v := gate(baseline, file(result("OpenLoop", 1251, 340)), 0.25); len(v) != 1 {
+		t.Fatalf("25.1%% regression not caught: %v", v)
+	}
+}
+
+func TestGateFailsOnAnyAllocRegression(t *testing.T) {
+	baseline := file(result("OpenLoop", 1000, 340))
+	v := gate(baseline, file(result("OpenLoop", 1000, 341)), 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("+1 alloc not caught: %v", v)
+	}
+	// Fewer allocations (or faster runs) are improvements, not violations.
+	if v := gate(baseline, file(result("OpenLoop", 600, 100)), 0.25); len(v) != 0 {
+		t.Fatalf("improvement flagged: %v", v)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	baseline := file(result("OpenLoop", 1000, 340), result("SweepRandom", 500, 933))
+	v := gate(baseline, file(result("OpenLoop", 1000, 340)), 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "not measured") {
+		t.Fatalf("dropped benchmark not caught: %v", v)
+	}
+	// Extra fresh benchmarks (new additions) are fine.
+	fresh := file(result("OpenLoop", 1000, 340), result("SweepRandom", 500, 933), result("New", 1, 1))
+	if v := gate(baseline, fresh, 0.25); len(v) != 0 {
+		t.Fatalf("new benchmark flagged: %v", v)
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := file(
+		benchResult{Name: "OpenLoop", NsPerOp: 3465239, BytesOp: 557488, AllocsOp: 340,
+			Metrics: map[string]float64{"accepted_load": 1}},
+	)
+	if err := writeBenchFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.Results[0].Name != "OpenLoop" ||
+		got.Results[0].AllocsOp != 340 || got.Results[0].Metrics["accepted_load"] != 1 {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+	// A future-schema file must be rejected, not silently compared.
+	bad := file()
+	bad.Schema = benchSchemaVersion + 1
+	if err := writeBenchFile(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBenchFile(path); err == nil {
+		t.Fatal("wrong schema version accepted")
+	}
+}
+
+func TestMeasureMinOfReps(t *testing.T) {
+	// A trivial deterministic benchmark: measure must report its (zero)
+	// allocation profile and a positive timing.
+	calls := 0
+	bm := benchmark{
+		name: "Trivial",
+		fn: func(b *testing.B) {
+			calls++
+			s := 0
+			for i := 0; i < b.N; i++ {
+				s += i
+			}
+			if s < 0 {
+				b.Fatal("impossible")
+			}
+		},
+		met: map[string]float64{"k": 1},
+	}
+	res := measure(bm, 2)
+	if calls < 2 {
+		t.Fatalf("measure ran the benchmark %d times, want at least 2 reps", calls)
+	}
+	if res.Name != "Trivial" || res.NsPerOp <= 0 || res.AllocsOp != 0 || res.Metrics["k"] != 1 {
+		t.Fatalf("unexpected measurement: %+v", res)
+	}
+}
+
+func TestBuildBenchmarksConstructs(t *testing.T) {
+	benches, err := buildBenchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SweepRandom", "SweepExhaustive", "OpenLoop", "ClosedLoop4Trial"}
+	if len(benches) != len(want) {
+		t.Fatalf("got %d benchmarks, want %d", len(benches), len(want))
+	}
+	for i, bm := range benches {
+		if bm.name != want[i] {
+			t.Fatalf("benchmark %d is %q, want %q", i, bm.name, want[i])
+		}
+	}
+	// The open-loop setup run must have observed a clean nonblocking
+	// network: full acceptance, no link over capacity.
+	var open benchmark
+	for _, bm := range benches {
+		if bm.name == "OpenLoop" {
+			open = bm
+		}
+	}
+	if open.met["accepted_load"] < 0.9 {
+		t.Fatalf("open-loop accepted load %v", open.met["accepted_load"])
+	}
+	if u := open.met["max_link_utilization"]; u <= 0 || u > 1 {
+		t.Fatalf("open-loop max utilization %v outside (0,1]", u)
+	}
+}
+
+func TestRunGateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	// One quick rep: write a baseline, then gate a second measurement
+	// against it with a generous threshold (both runs share one machine
+	// state, so only allocs — which are deterministic — are tight).
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	var buf bytes.Buffer
+	if err := run(&buf, base, "", 1, 0.25); err != nil {
+		t.Fatalf("baseline run: %v\n%s", err, buf.String())
+	}
+	buf.Reset()
+	if err := run(&buf, "", base, 1, 5.0); err != nil {
+		t.Fatalf("gate run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "gate passed") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	// Doctor the baseline to simulate a 2x speedup in the past — i.e. the
+	// fresh run is a 2x slowdown — and the same gate must now fail.
+	bf, err := readBenchFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bf.Results {
+		bf.Results[i].NsPerOp /= 100
+	}
+	if err := writeBenchFile(base, bf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run(&buf, "", base, 1, 0.25); err == nil {
+		t.Fatalf("gate passed against a 100x-faster baseline:\n%s", buf.String())
+	}
+}

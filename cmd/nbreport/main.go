@@ -18,7 +18,10 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/permutation"
+	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 func main() {
@@ -180,6 +183,12 @@ func run(out io.Writer, trials int, seed int64) error {
 	wl.Render(out)
 	endSection()
 
+	section("E18 — observability (per-stage wait, link utilization)")
+	if err := metricsSection(out, cfg); err != nil {
+		return err
+	}
+	endSection()
+
 	section("Scaling — 2- vs 3-level cost")
 	sc, err := experiments.Scaling([]int{2, 3, 4, 5, 6})
 	if err != nil {
@@ -189,5 +198,51 @@ func run(out io.Writer, trials int, seed int64) error {
 	endSection()
 
 	fmt.Fprintf(out, "---\ngenerated in %s by cmd/nbreport\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// metricsSection contrasts the nonblocking paper routing with a router
+// that forces every pair through top switch 0, on one shift permutation
+// through the metrics collector: the Lemma-1 signature is zero queueing
+// wait beyond the injection stage and no link above full utilization;
+// blocking routing shows up as up-stage wait and a hot link.
+func metricsSection(out io.Writer, cfg sim.Config) error {
+	f := topology.NewFoldedClos(2, 4, 5)
+	paper, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		return err
+	}
+	single := &routing.FtreeSinglePath{
+		F: f, RouterName: "single-top", TopChoice: func(s, d int) int { return 0 },
+	}
+	perm := permutation.Shift(f.Ports(), f.Ports()/2)
+	for _, rt := range []routing.Router{paper, single} {
+		c := cfg
+		c.Collector = sim.NewMetricsCollector()
+		_, res, err := sim.RunPermutation(f.Net, rt, perm, c)
+		if err != nil {
+			return err
+		}
+		m := res.Metrics
+		fmt.Fprintf(out, "%s on shift(%d): makespan %d, max link utilization %.2f, latency p50/p99 %d/%d\n",
+			rt.Name(), f.Ports()/2, res.Makespan, m.MaxUtilization(), m.Latency.P50(), m.Latency.P99())
+		for s := 0; s < sim.NumStages; s++ {
+			st := m.Stages[s]
+			if st.Hops == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "  stage %-9s  hops %4d  mean wait %5.2f  max wait %3d\n",
+				sim.StageName(s), st.Hops, float64(st.Wait)/float64(st.Hops), st.MaxWait)
+		}
+		// The busiest link, by integrated busy cycles.
+		var hot topology.LinkID
+		for l := range m.Links {
+			if m.Links[l].Busy > m.Links[hot].Busy {
+				hot = topology.LinkID(l)
+			}
+		}
+		fmt.Fprintf(out, "  busiest link: utilization %.2f, peak queue %d\n\n",
+			m.Utilization(hot), m.Links[hot].PeakQueue)
+	}
 	return nil
 }

@@ -31,6 +31,9 @@ func TestReportContainsEverySection(t *testing.T) {
 		"E15 — oversubscription frontier",
 		"E16 — in-network per-packet adaptivity",
 		"E17 — exact worst-case link load",
+		"E18 — observability",
+		"stage injection",
+		"busiest link:",
 		"Scaling — 2- vs 3-level cost",
 		"generated in",
 	} {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -44,17 +45,54 @@ func main() {
 		arbiter    = flag.String("arbiter", "round-robin", "round-robin | oldest-first")
 		openloop   = flag.Bool("openloop", false, "open-loop rate sweep instead of closed-loop makespan (ftree single-path routings only)")
 		workers    = flag.Int("workers", 0, "parallel simulation workers; 0 = GOMAXPROCS, 1 = sequential")
+		jsonOut    = flag.Bool("json", false, "emit a machine-readable JSON report (enables the metrics collector) instead of text")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, *topo, *n, *m, *r, *ports, *levels, *scheme, *sprayWidth,
-		*pattern, *trials, *seed, *flits, *pkts, *arbiter, *openloop, *workers); err != nil {
+		*pattern, *trials, *seed, *flits, *pkts, *arbiter, *openloop, *workers, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "nbsim:", err)
 		os.Exit(1)
 	}
 }
 
+// simReport is the -json output schema (documented in EXPERIMENTS.md,
+// "Metrics schema"). Exactly one of Closed, Sweep, Trials is populated,
+// keyed by Mode; metrics payloads round-trip through encoding/json.
+type simReport struct {
+	Network        string `json:"network"`
+	Hosts          int    `json:"hosts"`
+	Routing        string `json:"routing"`
+	PacketFlits    int    `json:"packet_flits"`
+	PacketsPerPair int    `json:"packets_per_pair,omitempty"`
+	Arbiter        string `json:"arbiter"`
+	Mode           string `json:"mode"` // closed-loop | open-loop | random-trials
+	Pattern        string `json:"pattern,omitempty"`
+
+	Closed *closedReport          `json:"closed,omitempty"`
+	Sweep  []sim.LoadSweepPoint   `json:"sweep,omitempty"`
+	Trials *sim.ThroughputSummary `json:"trials,omitempty"`
+}
+
+// closedReport is the closed-loop (single structured pattern) section.
+type closedReport struct {
+	Pairs            int          `json:"pairs"`
+	ContendedLinks   int          `json:"contended_links"`
+	MaxLinkLoad      int          `json:"max_link_load"`
+	Makespan         int64        `json:"makespan"`
+	CrossbarMakespan int64        `json:"crossbar_makespan"`
+	Slowdown         float64      `json:"slowdown"`
+	MeanLatency      float64      `json:"mean_latency"`
+	Metrics          *sim.Metrics `json:"metrics,omitempty"`
+}
+
+func emitJSON(out io.Writer, rep *simReport) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
 func run(out io.Writer, topo string, n, m, r, ports, levels int, scheme string, sprayWidth int,
-	pattern string, trials int, seed int64, flits, pkts int, arbiter string, openloop bool, workers int) error {
+	pattern string, trials int, seed int64, flits, pkts int, arbiter string, openloop bool, workers int, jsonOut bool) error {
 	cfg := sim.Config{PacketFlits: flits, PacketsPerPair: pkts, Seed: seed}
 	switch arbiter {
 	case "round-robin":
@@ -122,8 +160,14 @@ func run(out io.Writer, topo string, n, m, r, ports, levels int, scheme string, 
 		return fmt.Errorf("unknown topology %q", topo)
 	}
 
-	fmt.Fprintf(out, "network: %s (%d hosts), routing: %s, packets: %d × %d flits, arbiter: %s\n",
-		net.Name, hosts, router.Name(), pkts, flits, cfg.Arbiter)
+	rep := &simReport{
+		Network: net.Name, Hosts: hosts, Routing: router.Name(),
+		PacketFlits: flits, Arbiter: cfg.Arbiter.String(),
+	}
+	if !jsonOut {
+		fmt.Fprintf(out, "network: %s (%d hosts), routing: %s, packets: %d × %d flits, arbiter: %s\n",
+			net.Name, hosts, router.Name(), pkts, flits, cfg.Arbiter)
+	}
 
 	if openloop {
 		if topo != "ftree" {
@@ -146,6 +190,9 @@ func run(out io.Writer, topo string, n, m, r, ports, levels int, scheme string, 
 			Seed:            seed,
 			Arbiter:         cfg.Arbiter,
 		}
+		if jsonOut {
+			base.Collector = sim.NewMetricsCollector()
+		}
 		rates := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
 		// The parallel sweep is byte-identical to the sequential one.
 		var points []sim.LoadSweepPoint
@@ -157,6 +204,10 @@ func run(out io.Writer, topo string, n, m, r, ports, levels int, scheme string, 
 		}
 		if err != nil {
 			return err
+		}
+		if jsonOut {
+			rep.Mode, rep.Pattern, rep.Sweep = "open-loop", "switch-shift", points
+			return emitJSON(out, rep)
 		}
 		fmt.Fprintln(out, "open-loop sweep on the switch-shift permutation:")
 		fmt.Fprintln(out, "offered  accepted  mean-latency  p99")
@@ -171,6 +222,10 @@ func run(out io.Writer, topo string, n, m, r, ports, levels int, scheme string, 
 		sum, err := sim.CompareToCrossbarParallel(net, router, hosts, trials, workers, seed, cfg)
 		if err != nil {
 			return err
+		}
+		if jsonOut {
+			rep.Mode, rep.Pattern, rep.PacketsPerPair, rep.Trials = "random-trials", "random", pkts, sum
+			return emitJSON(out, rep)
 		}
 		fmt.Fprintf(out, "random permutations: %d trials\n", sum.Patterns)
 		fmt.Fprintf(out, "slowdown vs crossbar: mean %.2f, median %.2f, max %.2f\n",
@@ -200,17 +255,39 @@ func run(out io.Writer, topo string, n, m, r, ports, levels int, scheme string, 
 	default:
 		return fmt.Errorf("unknown pattern %q", pattern)
 	}
+	if jsonOut {
+		cfg.Collector = sim.NewMetricsCollector()
+	}
 	a, res, err := sim.RunPermutation(net, router, p, cfg)
 	if err != nil {
 		return err
 	}
-	rep := analysis.Check(a)
+	if res.Metrics != nil {
+		// Detach from the collector before the crossbar reference reuses it.
+		res.Metrics = res.Metrics.Clone()
+	}
+	cfg.Collector = nil
+	chk := analysis.Check(a)
 	ref, err := sim.CrossbarReference(hosts, p, cfg)
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		rep.Mode, rep.Pattern, rep.PacketsPerPair = "closed-loop", pattern, pkts
+		rep.Closed = &closedReport{
+			Pairs:            p.Size(),
+			ContendedLinks:   len(chk.Contended),
+			MaxLinkLoad:      chk.MaxLoad,
+			Makespan:         res.Makespan,
+			CrossbarMakespan: ref.Makespan,
+			Slowdown:         res.Slowdown(ref),
+			MeanLatency:      res.MeanLatency(),
+			Metrics:          res.Metrics,
+		}
+		return emitJSON(out, rep)
+	}
 	fmt.Fprintf(out, "pattern: %s (%d pairs)\n", pattern, p.Size())
-	fmt.Fprintf(out, "contended links: %d (max %d SD pairs on one link)\n", len(rep.Contended), rep.MaxLoad)
+	fmt.Fprintf(out, "contended links: %d (max %d SD pairs on one link)\n", len(chk.Contended), chk.MaxLoad)
 	fmt.Fprintf(out, "makespan: %d cycles (crossbar %d), slowdown %.2f\n",
 		res.Makespan, ref.Makespan, res.Slowdown(ref))
 	fmt.Fprintf(out, "mean packet latency: %.1f cycles, busiest link utilization %.2f\n",

@@ -420,6 +420,44 @@ type (
 	LoadSweepPoint = sim.LoadSweepPoint
 )
 
+// Observability types; see internal/sim. Attaching a Collector to a
+// SimConfig/OpenLoopConfig records per-link utilization and queue depths,
+// the per-stage hop-latency breakdown, and the end-to-end latency
+// histogram; with no collector the engines pay nothing.
+type (
+	// Metrics is one run's (or merge's) observability payload.
+	Metrics = sim.Metrics
+	// LinkStats is per-link busy/queue accounting.
+	LinkStats = sim.LinkStats
+	// StageStats is the per-pipeline-stage hop-latency breakdown.
+	StageStats = sim.StageStats
+	// Histogram is the power-of-two-bucket latency histogram.
+	Histogram = sim.Histogram
+	// Collector is the engine-side observability interface.
+	Collector = sim.Collector
+	// MetricsCollector is the pooled default Collector.
+	MetricsCollector = sim.MetricsCollector
+)
+
+// Observability entry points; see internal/sim.
+var (
+	// NewMetricsCollector returns a reusable default collector.
+	NewMetricsCollector = sim.NewMetricsCollector
+	// AggregateMetrics merges per-trial metrics in trial order.
+	AggregateMetrics = sim.AggregateMetrics
+	// StageName names a pipeline stage for reports and JSON.
+	StageName = sim.StageName
+)
+
+// Pipeline stages of a folded-Clos traversal, as reported by StageStats.
+const (
+	StageInjection = sim.StageInjection
+	StageUp        = sim.StageUp
+	StageDown      = sim.StageDown
+	StageDrain     = sim.StageDrain
+	NumStages      = sim.NumStages
+)
+
 // Simulator enum re-exports.
 const (
 	// ArbiterOldestFirst serves the longest-waiting packet.

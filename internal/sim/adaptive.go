@@ -71,6 +71,10 @@ func RunFtreeAdaptive(f *topology.FoldedClos, p *permutation.Permutation, cfg Co
 	// arbitrates by (flow, idx) alone.
 	c := newEventCore(nLinks, len(pairs), L, cfg.Arbiter, keyFlowOrder)
 	c.linkBusy = res.LinkBusy
+	if cfg.Collector != nil {
+		cfg.Collector.BeginRun(nLinks, L)
+		c.met = cfg.Collector
+	}
 
 	deliver := func(flow int32, now int64) {
 		res.Delivered++
@@ -80,6 +84,9 @@ func RunFtreeAdaptive(f *topology.FoldedClos, p *permutation.Permutation, cfg Co
 		}
 		if now > res.FlowFinish[flow] {
 			res.FlowFinish[flow] = now
+		}
+		if c.met != nil {
+			c.met.PacketDelivered(now)
 		}
 	}
 
@@ -113,12 +120,14 @@ func RunFtreeAdaptive(f *topology.FoldedClos, p *permutation.Permutation, cfg Co
 		}
 	}
 
+	var wall int64
 	for !c.empty() {
 		e := c.pop()
 		if e.time > cfg.MaxCycles {
 			res.Aborted = true
 			break
 		}
+		wall = e.time
 		if e.pkt == linkFreeEvent {
 			c.tryStart(e.link, e.time)
 			continue
@@ -154,8 +163,19 @@ func RunFtreeAdaptive(f *topology.FoldedClos, p *permutation.Permutation, cfg Co
 				}
 			}
 			pkt.path = int32(bestT)
+			if c.met != nil {
+				// The adaptive-retry counter: a deflection means the
+				// congestion costs steered the packet off its preferred
+				// (idx-rotated first candidate) top switch.
+				c.met.AdaptiveChoice(bestT != int(pkt.idx)%f.M)
+			}
 		}
-		c.enqueue(linkOf(pkt), e.pkt, e.time)
+		// The adaptive pipeline stage (0..3) is exactly the metrics stage.
+		c.enqueue(linkOf(pkt), e.pkt, e.time, int(pkt.hop))
+	}
+	if c.met != nil {
+		c.met.EndRun(wall)
+		res.Metrics = metricsOf(cfg.Collector)
 	}
 	return res, nil
 }

@@ -86,6 +86,12 @@ type eventCore struct {
 	linkFreeAt []int64
 	rrLast     []int32 // last served flow per link; -1 = none yet
 	linkBusy   []int64 // optional busy accounting (aliases Result.LinkBusy)
+
+	// Observability: nil met = off. Every hook hides behind one nil
+	// check, so a collector-less run pays nothing; per-packet wait
+	// tracking lives in the collector (keyed by pool index), keeping the
+	// core itself free of metric state.
+	met Collector
 }
 
 // newEventCore returns a core with dense state sized for nLinks links and
@@ -233,6 +239,9 @@ func (c *eventCore) tryStart(l topology.LinkID, now int64) int32 {
 	if c.linkBusy != nil {
 		c.linkBusy[l] += c.L
 	}
+	if c.met != nil {
+		c.met.PacketStarted(l, pi, now)
+	}
 	p.hop++
 	if c.keyPolicy == keyReadyAt {
 		p.arbKey = now + c.L
@@ -243,8 +252,12 @@ func (c *eventCore) tryStart(l topology.LinkID, now int64) int32 {
 }
 
 // enqueue adds packet pi to link l's queue and starts it immediately if
-// the link is idle.
-func (c *eventCore) enqueue(l topology.LinkID, pi int32, now int64) {
+// the link is idle. stage classifies the hop for the metrics layer and is
+// ignored when no collector is attached.
+func (c *eventCore) enqueue(l topology.LinkID, pi int32, now int64, stage int) {
+	if c.met != nil {
+		c.met.PacketQueued(l, pi, stage, now)
+	}
 	c.queues[l] = append(c.queues[l], pi)
 	c.tryStart(l, now)
 }

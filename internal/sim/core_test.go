@@ -35,9 +35,9 @@ func TestRoundRobinWrapsModuloFlowCount(t *testing.T) {
 	// numeric order 1, 2, 0 a non-wrapping key would produce. Same-flow
 	// ties break by packet index.
 	c := newEventCore(1, 3, 1, RoundRobin, keyInjection)
-	c.enqueue(0, c.newPacket(corePacket{flow: 2, idx: 9}), 0) // starts: link busy until t=1
+	c.enqueue(0, c.newPacket(corePacket{flow: 2, idx: 9}), 0, 0) // starts: link busy until t=1
 	for _, p := range []corePacket{{flow: 1, idx: 0}, {flow: 0, idx: 1}, {flow: 0, idx: 0}, {flow: 2, idx: 0}} {
-		c.enqueue(0, c.newPacket(p), 0)
+		c.enqueue(0, c.newPacket(p), 0, 0)
 	}
 	want := []servedPkt{{2, 9}, {0, 0}, {1, 0}, {2, 0}, {0, 1}}
 	if got := drainCore(c); !reflect.DeepEqual(got, want) {
@@ -54,7 +54,7 @@ func TestRoundRobinFreshLinkServesFlowZeroFirst(t *testing.T) {
 	c := newEventCore(1, 3, 1, RoundRobin, keyInjection)
 	c.linkFreeAt[0] = 5
 	for _, p := range []corePacket{{flow: 2}, {flow: 1}, {flow: 0}} {
-		c.enqueue(0, c.newPacket(p), 0) // all queue: the link is held
+		c.enqueue(0, c.newPacket(p), 0, 0) // all queue: the link is held
 	}
 	c.tryStart(0, 5)
 	want := []servedPkt{{0, 0}, {1, 0}, {2, 0}}
@@ -67,14 +67,14 @@ func TestOldestFirstServesByArbKeyThenFlow(t *testing.T) {
 	// OldestFirst orders by arbitration key (injection cycle here), then
 	// flow, then packet index.
 	c := newEventCore(1, 4, 1, OldestFirst, keyInjection)
-	c.enqueue(0, c.newPacket(corePacket{flow: 3, idx: 0, arbKey: 0}), 0) // holds the link
+	c.enqueue(0, c.newPacket(corePacket{flow: 3, idx: 0, arbKey: 0}), 0, 0) // holds the link
 	for _, p := range []corePacket{
 		{flow: 2, idx: 0, arbKey: 5},
 		{flow: 1, idx: 1, arbKey: 2},
 		{flow: 1, idx: 0, arbKey: 2},
 		{flow: 0, idx: 0, arbKey: 9},
 	} {
-		c.enqueue(0, c.newPacket(p), 0)
+		c.enqueue(0, c.newPacket(p), 0, 0)
 	}
 	want := []servedPkt{{3, 0}, {1, 0}, {1, 1}, {2, 0}, {0, 0}}
 	if got := drainCore(c); !reflect.DeepEqual(got, want) {

@@ -2,9 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/routing"
 	"repro/internal/topology"
@@ -31,6 +29,9 @@ type OpenLoopConfig struct {
 	Arbiter Arbiter
 	// MaxCycles aborts a saturated run; 0 means 5·10⁷.
 	MaxCycles int64
+	// Collector, when non-nil, receives observability events (see
+	// Collector and the closed-loop Config field of the same name).
+	Collector Collector
 }
 
 func (c *OpenLoopConfig) normalize() error {
@@ -63,7 +64,9 @@ type OpenLoopResult struct {
 	// MeanLatency is the mean packet latency (injection to delivery) of
 	// measured packets, in cycles.
 	MeanLatency float64
-	// P99Latency approximates the 99th-percentile latency.
+	// P99Latency is the 99th-percentile latency from the run's latency
+	// histogram: exact below 4096 cycles, bucket-resolved above (see
+	// Histogram).
 	P99Latency int64
 	// Delivered counts measured packets delivered.
 	Delivered int
@@ -73,6 +76,10 @@ type OpenLoopResult struct {
 	// Saturated is set when the run aborted at MaxCycles with packets
 	// still outstanding: the network could not drain the offered load.
 	Saturated bool
+	// Metrics is the observability payload when a default
+	// MetricsCollector was attached (nil otherwise); it aliases the
+	// collector's live memory — Clone to keep it across runs.
+	Metrics *Metrics `json:"metrics,omitempty"`
 }
 
 // OpenLoop simulates Bernoulli packet injection for the SD pairs of a full
@@ -124,7 +131,14 @@ func OpenLoop(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]
 
 	res := &OpenLoopResult{OfferedLoad: cfg.Rate}
 	c := newEventCore(net.NumLinks(), len(pairs), L, cfg.Arbiter, keyInjection)
-	var latencies []int64
+	if cfg.Collector != nil {
+		cfg.Collector.BeginRun(net.NumLinks(), L)
+		c.met = cfg.Collector
+	}
+	// lat records measured end-to-end latencies; P99 comes from its
+	// power-of-two-bucket quantile instead of a sort over a retained
+	// latency slice (exact below 4096 cycles — see Histogram).
+	var lat Histogram
 	var firstMeasuredInjection, lastDelivery int64 = -1, 0
 
 	// outstanding counts packets injected into the network and not yet
@@ -139,8 +153,11 @@ func OpenLoop(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]
 			pathIdx := rng.Intn(len(pathSets[fi]))
 			if pathSets[fi][pathIdx].Len() == 0 {
 				if measured {
-					latencies = append(latencies, 0)
+					lat.Observe(0)
 					res.Delivered++
+					if c.met != nil {
+						c.met.PacketDelivered(0)
+					}
 				}
 				continue
 			}
@@ -152,6 +169,7 @@ func OpenLoop(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]
 		}
 	}
 
+	var wall int64
 	for !c.empty() {
 		e := c.pop()
 		if e.time > cfg.MaxCycles {
@@ -162,6 +180,7 @@ func OpenLoop(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]
 			res.Undelivered = outstanding
 			break
 		}
+		wall = e.time
 		if e.pkt == linkFreeEvent {
 			c.tryStart(e.link, e.time)
 			continue
@@ -172,23 +191,30 @@ func OpenLoop(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]
 			outstanding--
 			if p.measured {
 				res.Delivered++
-				latencies = append(latencies, e.time-p.injected)
+				lat.Observe(e.time - p.injected)
 				if e.time > lastDelivery {
 					lastDelivery = e.time
+				}
+				if c.met != nil {
+					c.met.PacketDelivered(e.time - p.injected)
 				}
 			}
 			continue
 		}
-		c.enqueue(path.Links[p.hop], e.pkt, e.time)
+		stage := 0
+		if c.met != nil {
+			stage = hopStage(int(p.hop), path.Len())
+		}
+		c.enqueue(path.Links[p.hop], e.pkt, e.time, stage)
+	}
+	if c.met != nil {
+		c.met.EndRun(wall)
+		res.Metrics = metricsOf(cfg.Collector)
 	}
 
 	if res.Delivered > 0 {
-		var sum int64
-		for _, l := range latencies {
-			sum += l
-		}
-		res.MeanLatency = float64(sum) / float64(res.Delivered)
-		res.P99Latency = percentile(latencies, 0.99)
+		res.MeanLatency = float64(lat.Sum) / float64(res.Delivered)
+		res.P99Latency = lat.Quantile(0.99)
 		window := lastDelivery - firstMeasuredInjection
 		switch {
 		case window > 0:
@@ -204,49 +230,55 @@ func OpenLoop(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]
 	return res, nil
 }
 
-// percentile returns the p-quantile of xs by full sort (measurement
-// windows are small per run).
-func percentile(xs []int64, p float64) int64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	cp := append([]int64(nil), xs...)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
-	idx := int(math.Ceil(p * float64(len(cp)-1)))
-	if idx >= len(cp) {
-		idx = len(cp) - 1
-	}
-	return cp[idx]
-}
-
 // LoadSweepPoint is one offered-load sample of a sweep.
 type LoadSweepPoint struct {
-	OfferedLoad  float64
-	AcceptedLoad float64
-	MeanLatency  float64
-	P99Latency   int64
-	Saturated    bool
+	OfferedLoad  float64 `json:"offered_load"`
+	AcceptedLoad float64 `json:"accepted_load"`
+	MeanLatency  float64 `json:"mean_latency"`
+	P99Latency   int64   `json:"p99_latency"`
+	Saturated    bool    `json:"saturated,omitempty"`
+	// Metrics is the point's detached observability snapshot when the
+	// sweep's base config had a non-nil Collector (nil otherwise).
+	Metrics *Metrics `json:"metrics,omitempty"`
 }
 
 // LoadSweep runs OpenLoop at each offered load for a fixed permutation and
 // router, producing the classic latency/throughput curve. pathsFor adapts
-// any router (see PairPathsFunc and MultiPathsFunc).
+// any router (see PairPathsFunc and MultiPathsFunc). A non-nil
+// base.Collector turns metrics on: each point gets a pooled collector and
+// keeps a detached snapshot, exactly as the parallel driver does.
 func LoadSweep(net *topology.Network, pairs [][2]int, pathsFor func(s, d int) ([]topology.Path, error), rates []float64, base OpenLoopConfig) ([]LoadSweepPoint, error) {
 	points := make([]LoadSweepPoint, 0, len(rates))
+	collect := base.Collector != nil
 	for _, rate := range rates {
 		cfg := base
 		cfg.Rate = rate
+		var col *MetricsCollector
+		if collect {
+			col = acquireCollector()
+			cfg.Collector = col
+		}
 		res, err := OpenLoop(net, pairs, pathsFor, cfg)
 		if err != nil {
+			if col != nil {
+				releaseCollector(col)
+			}
 			return nil, err
 		}
-		points = append(points, LoadSweepPoint{
+		pt := LoadSweepPoint{
 			OfferedLoad:  rate,
 			AcceptedLoad: res.AcceptedLoad,
 			MeanLatency:  res.MeanLatency,
 			P99Latency:   res.P99Latency,
 			Saturated:    res.Saturated,
-		})
+		}
+		if res.Metrics != nil {
+			pt.Metrics = res.Metrics.Clone()
+		}
+		if col != nil {
+			releaseCollector(col)
+		}
+		points = append(points, pt)
 	}
 	return points, nil
 }

@@ -22,15 +22,35 @@ import (
 
 // RunTrials routes and simulates `trials` seeded random full permutations
 // (closed loop) and returns the per-trial results in order — the
-// many-pattern counterpart of RunPermutation.
+// many-pattern counterpart of RunPermutation. A non-nil cfg.Collector
+// turns metrics on: every trial runs with a pooled collector and its
+// Result carries a detached Metrics snapshot (aggregate with
+// AggregateMetrics), so sequential and parallel drivers attach identical
+// metrics.
 func RunTrials(net *topology.Network, r routing.Router, hosts, trials int, seed int64, cfg Config) ([]*Result, error) {
 	rng := rand.New(rand.NewSource(seed))
 	results := make([]*Result, trials)
+	collect := cfg.Collector != nil
 	for i := 0; i < trials; i++ {
 		p := permutation.Random(rng, hosts)
-		_, res, err := RunPermutation(net, r, p, cfg)
+		tcfg := cfg
+		var col *MetricsCollector
+		if collect {
+			col = acquireCollector()
+			tcfg.Collector = col
+		}
+		_, res, err := RunPermutation(net, r, p, tcfg)
 		if err != nil {
+			if col != nil {
+				releaseCollector(col)
+			}
 			return nil, err
+		}
+		if col != nil {
+			if res.Metrics != nil {
+				res.Metrics = res.Metrics.Clone()
+			}
+			releaseCollector(col)
 		}
 		results[i] = res
 	}
@@ -61,12 +81,29 @@ func RunTrialsParallel(net *topology.Network, r routing.Router, hosts, trials in
 	errs := make([]error, trials)
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	collect := cfg.Collector != nil
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				_, res, err := RunPermutation(net, r, perms[i], cfg)
+				// Workers never share the caller's collector: each run gets
+				// a pooled one, and the Result keeps a detached snapshot —
+				// the same snapshot the sequential driver attaches, so the
+				// merged output stays byte-identical.
+				tcfg := cfg
+				var col *MetricsCollector
+				if collect {
+					col = acquireCollector()
+					tcfg.Collector = col
+				}
+				_, res, err := RunPermutation(net, r, perms[i], tcfg)
+				if col != nil {
+					if res != nil && res.Metrics != nil {
+						res.Metrics = res.Metrics.Clone()
+					}
+					releaseCollector(col)
+				}
 				results[i], errs[i] = res, err
 			}
 		}()
@@ -95,14 +132,23 @@ func LoadSweepParallel(net *topology.Network, pairs [][2]int, pathsFor func(s, d
 	points := make([]LoadSweepPoint, len(rates))
 	errs := make([]error, len(rates))
 	var wg sync.WaitGroup
+	collect := base.Collector != nil
 	for i, rate := range rates {
 		wg.Add(1)
 		go func(i int, rate float64) {
 			defer wg.Done()
 			cfg := base
 			cfg.Rate = rate
+			var col *MetricsCollector
+			if collect {
+				col = acquireCollector()
+				cfg.Collector = col
+			}
 			res, err := OpenLoop(net, pairs, pathsFor, cfg)
 			if err != nil {
+				if col != nil {
+					releaseCollector(col)
+				}
 				errs[i] = err
 				return
 			}
@@ -112,6 +158,12 @@ func LoadSweepParallel(net *topology.Network, pairs [][2]int, pathsFor func(s, d
 				MeanLatency:  res.MeanLatency,
 				P99Latency:   res.P99Latency,
 				Saturated:    res.Saturated,
+			}
+			if res.Metrics != nil {
+				points[i].Metrics = res.Metrics.Clone()
+			}
+			if col != nil {
+				releaseCollector(col)
 			}
 		}(i, rate)
 	}
@@ -140,6 +192,9 @@ func CompareToCrossbarParallel(net *topology.Network, r routing.Router, hosts, t
 	if workers <= 1 {
 		return CompareToCrossbar(net, r, hosts, trials, seed, cfg)
 	}
+	// The summary carries no metrics, so a caller's collector is dropped
+	// rather than shared across workers (CompareToCrossbar does the same).
+	cfg.Collector = nil
 	rng := rand.New(rand.NewSource(seed))
 	perms := make([]*permutation.Permutation, trials)
 	for i := range perms {

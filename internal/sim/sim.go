@@ -73,6 +73,13 @@ type Config struct {
 	Seed int64
 	// MaxCycles aborts runaway simulations; 0 means 10^9.
 	MaxCycles int64
+	// Collector, when non-nil, receives per-link/per-stage observability
+	// events (see Collector); nil collects nothing and costs nothing.
+	// The single-run engines call a custom implementation directly; the
+	// trial/sweep drivers treat any non-nil value as "metrics on" and
+	// substitute pooled MetricsCollectors so that workers never share
+	// collector state.
+	Collector Collector
 }
 
 func (c *Config) normalize() error {
@@ -121,6 +128,11 @@ type Result struct {
 	SumLatency int64
 	// Aborted is set when MaxCycles was hit before completion.
 	Aborted bool
+	// Metrics is the run's observability payload when a default
+	// MetricsCollector was attached (nil otherwise). Single-run engines
+	// alias the collector's live memory — Clone to keep it across runs;
+	// the trial drivers attach detached snapshots.
+	Metrics *Metrics `json:"metrics,omitempty"`
 }
 
 // MeanLatency is the average packet delivery cycle.
@@ -180,6 +192,10 @@ func Run(net *topology.Network, flows []Flow, cfg Config) (*Result, error) {
 
 	c := newEventCore(nLinks, len(flows), L, cfg.Arbiter, keyReadyAt)
 	c.linkBusy = res.LinkBusy
+	if cfg.Collector != nil {
+		cfg.Collector.BeginRun(nLinks, L)
+		c.met = cfg.Collector
+	}
 
 	deliver := func(flow int32, now int64) {
 		res.Delivered++
@@ -189,6 +205,9 @@ func Run(net *topology.Network, flows []Flow, cfg Config) (*Result, error) {
 		}
 		if now > res.FlowFinish[flow] {
 			res.FlowFinish[flow] = now
+		}
+		if c.met != nil {
+			c.met.PacketDelivered(now)
 		}
 	}
 
@@ -211,12 +230,14 @@ func Run(net *topology.Network, flows []Flow, cfg Config) (*Result, error) {
 		}
 	}
 
+	var wall int64
 	for !c.empty() {
 		e := c.pop()
 		if e.time > cfg.MaxCycles {
 			res.Aborted = true
 			break
 		}
+		wall = e.time
 		if e.pkt == linkFreeEvent {
 			c.tryStart(e.link, e.time)
 			continue
@@ -227,7 +248,15 @@ func Run(net *topology.Network, flows []Flow, cfg Config) (*Result, error) {
 			deliver(p.flow, e.time)
 			continue
 		}
-		c.enqueue(path.Links[p.hop], e.pkt, e.time)
+		stage := 0
+		if c.met != nil {
+			stage = hopStage(int(p.hop), path.Len())
+		}
+		c.enqueue(path.Links[p.hop], e.pkt, e.time, stage)
+	}
+	if c.met != nil {
+		c.met.EndRun(wall)
+		res.Metrics = metricsOf(cfg.Collector)
 	}
 	return res, nil
 }
@@ -259,15 +288,15 @@ func CrossbarReference(hosts int, p *permutation.Permutation, cfg Config) (*Resu
 // ThroughputSummary aggregates relative performance over several patterns.
 type ThroughputSummary struct {
 	// Patterns is the number of permutations simulated.
-	Patterns int
+	Patterns int `json:"patterns"`
 	// MeanSlowdown and MaxSlowdown are relative to the crossbar
 	// reference (1.0 = crossbar-equivalent).
-	MeanSlowdown float64
-	MaxSlowdown  float64
+	MeanSlowdown float64 `json:"mean_slowdown"`
+	MaxSlowdown  float64 `json:"max_slowdown"`
 	// MeanRelThroughput is the mean of 1/slowdown.
-	MeanRelThroughput float64
+	MeanRelThroughput float64 `json:"mean_rel_throughput"`
 	// MedianSlowdown is the median slowdown across patterns.
-	MedianSlowdown float64
+	MedianSlowdown float64 `json:"median_slowdown"`
 }
 
 // CompareToCrossbar simulates `trials` random permutations (seeded) under
@@ -275,6 +304,9 @@ type ThroughputSummary struct {
 // reference — the experiment behind the paper's motivation ([5], [7]) and
 // its claim that nonblocking folded-Clos networks match crossbars.
 func CompareToCrossbar(net *topology.Network, r routing.Router, hosts, trials int, seed int64, cfg Config) (*ThroughputSummary, error) {
+	// The summary carries no metrics; drop any collector so the network and
+	// crossbar-reference runs never share or clobber collector state.
+	cfg.Collector = nil
 	rng := rand.New(rand.NewSource(seed))
 	sum := &ThroughputSummary{}
 	var slowdowns []float64

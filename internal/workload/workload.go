@@ -154,6 +154,9 @@ type PhaseResult struct {
 	Makespan int64
 	// ContendedLinks counts links shared by ≥2 SD pairs of the phase.
 	ContendedLinks int
+	// MaxLinkUtilization is the phase's busiest-link utilization when
+	// metrics were collected (0 otherwise).
+	MaxLinkUtilization float64 `json:"max_link_utilization,omitempty"`
 }
 
 // Result aggregates a simulated workload run.
@@ -167,15 +170,27 @@ type Result struct {
 	// TotalCycles is the bulk-synchronous completion time: the sum of
 	// phase makespans.
 	TotalCycles int64
+	// Metrics is the element-wise merge of the per-phase observability
+	// payloads (phase walls add — phases execute back to back) when
+	// cfg.Collector was non-nil; nil otherwise.
+	Metrics *sim.Metrics `json:"metrics,omitempty"`
 }
 
 // Run simulates the workload phase by phase on the network/router pair
-// and returns the aggregate completion time.
+// and returns the aggregate completion time. A non-nil cfg.Collector
+// turns metrics on: each phase runs with its own pooled collector, phase
+// utilization lands in PhaseResult and the merged payload in
+// Result.Metrics.
 func Run(net *topology.Network, r routing.Router, w *Workload, cfg sim.Config) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	res := &Result{Workload: w.Name, Router: r.Name()}
+	collect := cfg.Collector != nil
+	if collect {
+		cfg.Collector = sim.NewMetricsCollector()
+		res.Metrics = &sim.Metrics{}
+	}
 	// One flat-array Checker amortizes its contention-accounting scratch
 	// over all phases (analysis-package hot path; see analysis.Checker).
 	chk := analysis.NewChecker(net)
@@ -190,6 +205,10 @@ func Run(net *topology.Network, r routing.Router, w *Workload, cfg sim.Config) (
 		}
 		chk.Analyze(a)
 		pr := PhaseResult{Makespan: out.Makespan, ContendedLinks: chk.ContendedCount()}
+		if out.Metrics != nil {
+			pr.MaxLinkUtilization = out.Metrics.MaxUtilization()
+			res.Metrics.Merge(out.Metrics)
+		}
 		res.Phases = append(res.Phases, pr)
 		res.TotalCycles += out.Makespan
 	}

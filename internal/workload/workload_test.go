@@ -209,3 +209,47 @@ func TestSlowdownZeroReference(t *testing.T) {
 		t.Fatal("zero-reference slowdown should be 1")
 	}
 }
+
+func TestRunMetricsAggregation(t *testing.T) {
+	// A non-nil collector turns per-phase metrics on: every phase reports
+	// its busiest-link utilization, the merged payload sums phase walls,
+	// and the merged histogram counts every delivered packet.
+	f := topology.NewFoldedClos(2, 4, 5)
+	paper, err := routing.NewPaperDeterministic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := RingExchange(f.Ports())
+	cfg := sim.Config{PacketFlits: 2, PacketsPerPair: 4, Collector: sim.NewMetricsCollector()}
+	res, err := Run(f.Net, paper, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("no merged metrics attached")
+	}
+	var wantWall, delivered int64
+	for i, pr := range res.Phases {
+		if pr.MaxLinkUtilization <= 0 || pr.MaxLinkUtilization > 1 {
+			t.Errorf("phase %d: max utilization %v outside (0, 1]", i, pr.MaxLinkUtilization)
+		}
+		wantWall += pr.Makespan
+	}
+	delivered = int64(len(w.Phases) * f.Ports() * cfg.PacketsPerPair)
+	if res.Metrics.Wall != wantWall {
+		t.Errorf("merged wall %d, want sum of phase makespans %d", res.Metrics.Wall, wantWall)
+	}
+	if res.Metrics.Latency.Count != delivered {
+		t.Errorf("merged histogram count %d, want %d", res.Metrics.Latency.Count, delivered)
+	}
+
+	// Metrics off: nothing attached.
+	cfg.Collector = nil
+	off, err := Run(f.Net, paper, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Metrics != nil {
+		t.Fatal("metrics attached without a collector")
+	}
+}
