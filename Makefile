@@ -9,7 +9,7 @@ RACE_PKGS ?= ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal
 # Per-target budget for the fuzz smoke pass (`go test -fuzz` accepts one
 # target per invocation).
 FUZZTIME ?= 30s
-FUZZ_TARGETS := FuzzEdgeColorBipartite FuzzBenesLooping
+FUZZ_TARGETS := FuzzEdgeColorBipartite FuzzBenesLooping FuzzRouteTableParity
 
 .PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke report tables examples clean
 

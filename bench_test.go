@@ -580,6 +580,42 @@ func BenchmarkSweepExhaustive(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepExhaustiveOracle times the same 8! sweep through the
+// per-pattern reference engine — the delta engine's parity oracle. Keeping
+// the pair in `make bench` makes the delta speedup visible in every run.
+func BenchmarkSweepExhaustiveOracle(b *testing.B) {
+	f := fclos.NewFoldedClos(4, 16, 2)
+	r, err := fclos.NewPaperDeterministic(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := fclos.SweepExhaustiveOracle(r, f.Ports())
+		if !res.Nonblocking() {
+			b.Fatal("paper routing blocked")
+		}
+	}
+}
+
+// BenchmarkSweepExhaustiveDelta9 times the 9!-permutation delta sweep on
+// ftree(3+9, 3) — a size the per-pattern engine makes painful (362880
+// patterns) and the incremental engine covers by default.
+func BenchmarkSweepExhaustiveDelta9(b *testing.B) {
+	f := fclos.NewFoldedClos(3, 9, 3)
+	r, err := fclos.NewPaperDeterministic(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := fclos.SweepExhaustive(r, f.Ports())
+		if !res.Nonblocking() {
+			b.Fatal("paper routing blocked")
+		}
+	}
+}
+
 // BenchmarkBuildFoldedClos times topology construction at Table-I scale.
 func BenchmarkBuildFoldedClos(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -3,21 +3,26 @@
 // regressions against a committed baseline — the engine behind the CI
 // bench-gate job (see .github/workflows/ci.yml and EXPERIMENTS.md).
 //
-// The four benchmarks mirror their bench_test.go namesakes: the
-// randomized and exhaustive verification sweeps (the flat-array
-// contention-accounting hot path), the full-load open-loop run (the dense
-// event core hot path), and a 4-trial closed-loop driver pass.
+// The benchmarks mirror their bench_test.go namesakes: the randomized and
+// exhaustive verification sweeps (the flat-array contention-accounting hot
+// path), the incremental delta sweep over a precomputed route table, the
+// full-load open-loop run (the dense event core hot path), and a 4-trial
+// closed-loop driver pass.
 //
 // Usage:
 //
 //	nbbench -out BENCH_sim.json                  # measure, write baseline
 //	nbbench -baseline BENCH_sim.json             # measure, gate (CI)
 //	nbbench -baseline BENCH_sim.json -out fresh.json
+//	nbbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The gate fails when any benchmark exceeds the baseline ns/op by more
 // than -max-ns-regress (default 25%) or allocates more per op than the
 // baseline at all: allocation counts are deterministic, so any increase
-// is a real regression.
+// is a real regression. The ns/op comparison only runs when the baseline
+// was recorded by the same Go toolchain: on a version mismatch the gate
+// prints a warning and passes, since codegen differences between
+// toolchains are not regressions.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	fclos "repro"
@@ -107,6 +113,30 @@ func buildBenchmarks() ([]benchmark, error) {
 					}
 				}
 			},
+		})
+	}
+
+	// SweepExhaustiveDelta: all 9! permutations of ftree(3+9, 3) through
+	// the incremental engine — one route-table build, then O(path length)
+	// per permutation. A factorial step up from SweepExhaustive (362880
+	// patterns vs 40320) that stays fast only while the delta path does.
+	{
+		f := fclos.NewFoldedClos(3, 9, 3)
+		r, err := fclos.NewPaperDeterministic(f)
+		if err != nil {
+			return nil, err
+		}
+		hosts := f.Ports()
+		benches = append(benches, benchmark{
+			name: "SweepExhaustiveDelta",
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if !fclos.SweepExhaustive(r, hosts).Nonblocking() {
+						b.Fatal("paper routing blocked")
+					}
+				}
+			},
+			met: map[string]float64{"patterns": 362880},
 		})
 	}
 
@@ -270,17 +300,46 @@ func writeBenchFile(path string, bf *benchFile) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func run(out io.Writer, outPath, baselinePath string, reps int, nsThreshold float64) error {
+func run(out io.Writer, outPath, baselinePath, cpuProfile, memProfile string, reps int, nsThreshold float64) error {
 	benches, err := buildBenchmarks()
 	if err != nil {
 		return err
 	}
+	if cpuProfile != "" {
+		pf, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+	}
 	fresh := &benchFile{Schema: benchSchemaVersion, Go: runtime.Version()}
 	for _, bm := range benches {
 		res := measure(bm, reps)
-		fmt.Fprintf(out, "%-18s %12.0f ns/op %10d B/op %8d allocs/op\n",
+		fmt.Fprintf(out, "%-20s %12.0f ns/op %10d B/op %8d allocs/op\n",
 			res.Name, res.NsPerOp, res.BytesOp, res.AllocsOp)
 		fresh.Results = append(fresh.Results, res)
+	}
+	if cpuProfile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(out, "wrote CPU profile %s\n", cpuProfile)
+	}
+	if memProfile != "" {
+		pf, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the steady-state heap before snapshotting
+		if err := pprof.WriteHeapProfile(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		if err := pf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote heap profile %s\n", memProfile)
 	}
 	if outPath != "" {
 		if err := writeBenchFile(outPath, fresh); err != nil {
@@ -292,6 +351,13 @@ func run(out io.Writer, outPath, baselinePath string, reps int, nsThreshold floa
 		baseline, err := readBenchFile(baselinePath)
 		if err != nil {
 			return err
+		}
+		if baseline.Go != fresh.Go {
+			// ns/op differences between toolchains are codegen, not
+			// regressions; comparing across them would gate on noise.
+			fmt.Fprintf(out, "gate skipped: baseline %s was recorded with %s, running %s (re-record the baseline to re-arm the gate)\n",
+				baselinePath, baseline.Go, fresh.Go)
+			return nil
 		}
 		if violations := gate(baseline, fresh, nsThreshold); len(violations) > 0 {
 			for _, v := range violations {
@@ -309,11 +375,13 @@ func main() {
 	var (
 		outPath      = flag.String("out", "", "write the measured results as JSON to this path")
 		baselinePath = flag.String("baseline", "", "gate the measured results against this JSON baseline")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the measured benchmark bodies to this path")
+		memProfile   = flag.String("memprofile", "", "write a post-GC heap profile to this path after measuring")
 		reps         = flag.Int("reps", 3, "benchmark repetitions; min-of-reps is reported")
 		nsRegress    = flag.Float64("max-ns-regress", 0.25, "allowed fractional ns/op regression before the gate fails")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *outPath, *baselinePath, *reps, *nsRegress); err != nil {
+	if err := run(os.Stdout, *outPath, *baselinePath, *cpuProfile, *memProfile, *reps, *nsRegress); err != nil {
 		fmt.Fprintln(os.Stderr, "nbbench:", err)
 		os.Exit(1)
 	}

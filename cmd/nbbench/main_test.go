@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -125,7 +126,7 @@ func TestBuildBenchmarksConstructs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"SweepRandom", "SweepExhaustive", "OpenLoop", "ClosedLoop4Trial"}
+	want := []string{"SweepRandom", "SweepExhaustive", "SweepExhaustiveDelta", "OpenLoop", "ClosedLoop4Trial"}
 	if len(benches) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(benches), len(want))
 	}
@@ -160,11 +161,11 @@ func TestRunGateEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")
 	var buf bytes.Buffer
-	if err := run(&buf, base, "", 1, 0.25); err != nil {
+	if err := run(&buf, base, "", "", "", 1, 0.25); err != nil {
 		t.Fatalf("baseline run: %v\n%s", err, buf.String())
 	}
 	buf.Reset()
-	if err := run(&buf, "", base, 1, 5.0); err != nil {
+	if err := run(&buf, "", base, "", "", 1, 5.0); err != nil {
 		t.Fatalf("gate run: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "gate passed") {
@@ -183,7 +184,37 @@ func TestRunGateEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf.Reset()
-	if err := run(&buf, "", base, 1, 0.25); err == nil {
+	if err := run(&buf, "", base, "", "", 1, 0.25); err == nil {
 		t.Fatalf("gate passed against a 100x-faster baseline:\n%s", buf.String())
+	}
+	// Same doctored (100x-faster) baseline, but recorded by a different Go
+	// toolchain: the ns/op comparison is meaningless across toolchains, so
+	// the gate must warn and pass instead of failing.
+	bf.Go = "go0.0-other"
+	if err := writeBenchFile(base, bf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run(&buf, "", base, "", "", 1, 0.25); err != nil {
+		t.Fatalf("version-mismatched gate failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "gate skipped") {
+		t.Fatalf("expected mismatch warning, got:\n%s", buf.String())
+	}
+	// Profiles: both flags must produce non-empty files.
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	buf.Reset()
+	if err := run(&buf, "", "", cpu, mem, 1, 0.25); err != nil {
+		t.Fatalf("profiled run: %v\n%s", err, buf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
 	}
 }

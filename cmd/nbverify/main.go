@@ -37,19 +37,20 @@ func main() {
 		scheme  = flag.String("routing", "paper", "paper | paper-folded | dest-mod | source-mod | dest-switch-mod | random-fixed | adaptive | greedy-local | global")
 		trials  = flag.Int("trials", 500, "random permutations for sweep-based verification")
 		seed    = flag.Int64("seed", 1, "sweep seed")
-		maxExh  = flag.Int("max-exhaustive", 8, "use exhaustive sweep up to this many hosts")
+		maxExh  = flag.Int("max-exhaustive", 9, "use exhaustive sweep up to this many hosts")
+		firstB  = flag.Bool("first-blocked", false, "stop the exhaustive sweep at the first blocked pattern")
 		verbose = flag.Bool("v", false, "print per-link detail for violations")
 		pattern = flag.String("pattern", "", `check one explicit pattern, e.g. "0->4 2->5", instead of deciding nonblocking`)
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *n, *m, *r, *scheme, *trials, *seed, *maxExh, *verbose, *pattern); err != nil {
+	if err := run(os.Stdout, *n, *m, *r, *scheme, *trials, *seed, *maxExh, *firstB, *verbose, *pattern); err != nil {
 		fmt.Fprintln(os.Stderr, "nbverify:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, n, m, r int, scheme string, trials int, seed int64, maxExh int, verbose bool, pattern string) error {
+func run(out io.Writer, n, m, r int, scheme string, trials int, seed int64, maxExh int, firstBlocked, verbose bool, pattern string) error {
 	f := topology.NewFoldedClos(n, m, r)
 	fmt.Fprintf(out, "network: %s (%d hosts, %d switches)\n", f.Net.Name, f.Ports(), f.Switches())
 
@@ -129,6 +130,11 @@ func run(out io.Writer, n, m, r int, scheme string, trials int, seed int64, maxE
 	}
 
 	if f.Ports() <= maxExh {
+		if firstBlocked {
+			res := analysis.SweepExhaustiveFirstBlocked(router, f.Ports())
+			report(out, res, "exhaustive (first-blocked)")
+			return res.RouteErr
+		}
 		res := analysis.SweepExhaustive(router, f.Ports())
 		report(out, res, "exhaustive")
 		return res.RouteErr

@@ -162,6 +162,20 @@ type (
 	Assignment = routing.Assignment
 	// NonblockingAdaptive is algorithm NONBLOCKINGADAPTIVE (Fig. 4).
 	NonblockingAdaptive = routing.NonblockingAdaptive
+	// RouteTable is the precomputed all-pairs link-set cache (CSR layout)
+	// behind the incremental sweep engine.
+	RouteTable = routing.RouteTable
+)
+
+// Route-table construction; see internal/routing.
+var (
+	// BuildRouteTable precomputes every SD pair's deduplicated link set
+	// for a router with pattern-independent paths. It returns
+	// ErrPatternDependent for adaptive/global routers.
+	BuildRouteTable = routing.BuildRouteTable
+	// ErrPatternDependent marks routers whose per-pair link sets cannot
+	// be cached.
+	ErrPatternDependent = routing.ErrPatternDependent
 )
 
 // Router constructors; see internal/routing for the scheme definitions.
@@ -255,6 +269,9 @@ type (
 	// backing CheckContention and the sweeps; hoist one outside a loop to
 	// analyze many patterns without per-pattern allocation.
 	Checker = analysis.Checker
+	// DeltaChecker is the incremental counterpart of Checker for
+	// swap-adjacent enumerations over a precomputed RouteTable.
+	DeltaChecker = analysis.DeltaChecker
 )
 
 // Verification entry points; see internal/analysis.
@@ -267,6 +284,8 @@ var (
 	// NewChecker builds a reusable Checker (nil network is allowed; the
 	// scratch grows on demand).
 	NewChecker = analysis.NewChecker
+	// NewDeltaChecker builds an incremental checker over a RouteTable.
+	NewDeltaChecker = analysis.NewDeltaChecker
 	// CheckLemma1AllPairs decides nonblocking exactly for deterministic
 	// routing (Lemma 1); the Parallel variant shards the all-pairs
 	// routing by source host with an identical result.
@@ -277,9 +296,15 @@ var (
 	BlockingWitness = analysis.BlockingWitness
 	// SweepExhaustive / SweepRandom test many permutations;
 	// SweepExhaustiveParallel shards the n! patterns over a worker pool.
-	SweepExhaustive         = analysis.SweepExhaustive
-	SweepExhaustiveParallel = analysis.SweepExhaustiveParallel
-	SweepRandom             = analysis.SweepRandom
+	// Routers with pattern-independent paths are swept by the incremental
+	// delta engine over a precomputed RouteTable; SweepExhaustiveOracle
+	// forces the per-pattern reference engine, and
+	// SweepExhaustiveFirstBlocked stops at the first contended pattern.
+	SweepExhaustive             = analysis.SweepExhaustive
+	SweepExhaustiveParallel     = analysis.SweepExhaustiveParallel
+	SweepExhaustiveOracle       = analysis.SweepExhaustiveOracle
+	SweepExhaustiveFirstBlocked = analysis.SweepExhaustiveFirstBlocked
+	SweepRandom                 = analysis.SweepRandom
 	// BlockingProbability estimates P(contention) over random
 	// permutations (Parallel variant splits trials across workers).
 	BlockingProbability         = analysis.BlockingProbability

@@ -37,8 +37,66 @@ type WorstCaseResult struct {
 	Evaluated int
 }
 
-// Run executes the search. Routing errors abort with the error.
+// Run executes the search. Routing errors abort with the error. Routers
+// with cacheable per-pair link sets are scored by a DeltaChecker over a
+// precomputed route table — a candidate swap is applied, scored, and (on
+// rejection) backed out, all in O(path length) — with the same RNG
+// consumption, acceptance decisions, and tie-breaking as the per-pattern
+// oracle, so results are identical for a given seed. Pattern-dependent
+// routers fall back to re-routing every candidate.
 func (s *WorstCaseSearch) Run() (*WorstCaseResult, error) {
+	if table, err := routing.BuildRouteTable(s.Router, s.Hosts); err == nil {
+		return s.runDelta(table)
+	}
+	return s.runOracle()
+}
+
+// runDelta is the incremental scorer: one table build up front, then
+// O(path length) per candidate swap.
+func (s *WorstCaseSearch) runDelta(table *routing.RouteTable) (*WorstCaseResult, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	best := &WorstCaseResult{}
+	d := NewDeltaChecker(table)
+	for restart := 0; restart < s.Restarts; restart++ {
+		cur := permutation.Random(rng, s.Hosts)
+		d.Reset(cur)
+		curC, curL := d.ContendedCount(), d.MaxLoad()
+		best.Evaluated++
+		s.consider(best, cur, curC, curL)
+		for step := 0; step < s.Steps; step++ {
+			// Swap the destinations of two random sources.
+			i, j := rng.Intn(s.Hosts), rng.Intn(s.Hosts)
+			if i == j {
+				continue
+			}
+			d.Swap(i, j)
+			cc, cl := d.ContendedCount(), d.MaxLoad()
+			best.Evaluated++
+			if cc > curC || (cc == curC && cl >= curL) {
+				// Accept: mirror the swap into the permutation.
+				di, dj := cur.Dst(i), cur.Dst(j)
+				cur.Remove(i)
+				cur.Remove(j)
+				if err := cur.Add(i, dj); err != nil {
+					return nil, err
+				}
+				if err := cur.Add(j, di); err != nil {
+					return nil, err
+				}
+				curC, curL = cc, cl
+				s.consider(best, cur, curC, curL)
+			} else {
+				// Reject: Swap is its own inverse.
+				d.Swap(i, j)
+			}
+		}
+	}
+	return best, nil
+}
+
+// runOracle re-routes every candidate pattern from scratch — required for
+// adaptive/global routers, whose paths depend on the whole pattern.
+func (s *WorstCaseSearch) runOracle() (*WorstCaseResult, error) {
 	rng := rand.New(rand.NewSource(s.Seed))
 	best := &WorstCaseResult{}
 	c := NewChecker(nil)

@@ -2,7 +2,7 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/permutation"
 	"repro/internal/routing"
@@ -186,7 +186,7 @@ func (c *Checker) ContendedCount() int { return len(c.contended) }
 // slice aliases Checker scratch: valid until the next analysis.
 func (c *Checker) ContendedLinks() []topology.LinkID {
 	if !c.sorted {
-		sort.Slice(c.contended, func(i, j int) bool { return c.contended[i] < c.contended[j] })
+		slices.Sort(c.contended)
 		c.sorted = true
 	}
 	return c.contended

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
-	"sort"
+	"slices"
 	"testing"
 
 	"repro/internal/permutation"
@@ -36,7 +36,7 @@ func checkReference(a *routing.Assignment) *Report {
 			rep.Contended = append(rep.Contended, l)
 		}
 	}
-	sort.Slice(rep.Contended, func(i, j int) bool { return rep.Contended[i] < rep.Contended[j] })
+	slices.Sort(rep.Contended)
 	return rep
 }
 

@@ -181,11 +181,42 @@ type SweepResult struct {
 func (s *SweepResult) Nonblocking() bool { return s.Blocked == 0 && s.RouteErr == nil }
 
 // SweepExhaustive routes every full permutation of hosts endpoints
-// (hosts! patterns — keep hosts ≤ 8) and checks contention. For
-// deterministic routing this plus CheckLemma1AllPairs gives two
+// (hosts! patterns — practical up to hosts ≈ 9–10) and checks contention.
+// For deterministic routing this plus CheckLemma1AllPairs gives two
 // independent exact verdicts; for adaptive routing it is the ground-truth
 // check on small networks.
+//
+// Routers with pattern-independent per-pair paths (PairLinkAppender,
+// MultiPairRouter or PairRouter) are swept by the incremental delta
+// engine: their per-pair link sets are precomputed once into a CSR
+// routing.RouteTable and a DeltaChecker updates contention state per
+// Heap-algorithm swap, making each pattern O(path length) instead of
+// O(n · path length). Pattern-dependent routers — and any router whose
+// table build fails — fall back to SweepExhaustiveOracle, so results
+// (including routing-error reporting) are identical either way.
 func SweepExhaustive(r routing.Router, hosts int) *SweepResult {
+	return sweepExhaustiveDelta(r, hosts, false)
+}
+
+// SweepExhaustiveFirstBlocked is SweepExhaustive in early-exit mode for
+// callers that only need a yes/no nonblocking verdict plus a witness: the
+// sweep stops at the first contended pattern. Tested counts the patterns
+// examined up to and including the blocked one; Blocked is at most 1, and
+// MaxLinkLoad covers only the examined prefix. A fully nonblocking router
+// yields a result identical to SweepExhaustive's.
+func SweepExhaustiveFirstBlocked(r routing.Router, hosts int) *SweepResult {
+	return sweepExhaustiveDelta(r, hosts, true)
+}
+
+// SweepExhaustiveOracle is the scratch-rebuild reference implementation of
+// SweepExhaustive: one Checker.AnalyzePattern per pattern, no cross-pattern
+// state. It is the parity oracle the delta engine is property-tested
+// against, and the engine every pattern-dependent router uses.
+func SweepExhaustiveOracle(r routing.Router, hosts int) *SweepResult {
+	return sweepExhaustiveOracle(r, hosts, false)
+}
+
+func sweepExhaustiveOracle(r routing.Router, hosts int, firstOnly bool) *SweepResult {
 	res := &SweepResult{}
 	c := NewChecker(nil)
 	permutation.EnumerateFull(hosts, func(p *permutation.Permutation) bool {
@@ -201,6 +232,44 @@ func SweepExhaustive(r routing.Router, hosts int) *SweepResult {
 			res.Blocked++
 			if res.FirstBlocked == nil {
 				res.FirstBlocked = p.Clone()
+			}
+			if firstOnly {
+				return false
+			}
+		}
+		return true
+	})
+	return res
+}
+
+func sweepExhaustiveDelta(r routing.Router, hosts int, firstOnly bool) *SweepResult {
+	t, err := routing.BuildRouteTable(r, hosts)
+	if err != nil {
+		// Pattern-dependent router, or some pair failed to route. The
+		// oracle reproduces the exact sequential accounting either way —
+		// in the failure case including the canonical first routing error
+		// at the first pattern exercising the failing pair.
+		return sweepExhaustiveOracle(r, hosts, firstOnly)
+	}
+	res := &SweepResult{}
+	d := NewDeltaChecker(t)
+	permutation.EnumerateFullSwaps(hosts, func(p *permutation.Permutation, i, j int) bool {
+		if i < 0 {
+			d.Reset(p)
+		} else {
+			d.Swap(i, j)
+		}
+		res.Tested++
+		if d.MaxLoad() > res.MaxLinkLoad {
+			res.MaxLinkLoad = d.MaxLoad()
+		}
+		if d.HasContention() {
+			res.Blocked++
+			if res.FirstBlocked == nil {
+				res.FirstBlocked = p.Clone()
+			}
+			if firstOnly {
+				return false
 			}
 		}
 		return true

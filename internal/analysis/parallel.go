@@ -26,7 +26,13 @@ import (
 
 // SweepExhaustiveParallel is SweepExhaustive over `workers` goroutines,
 // sharding the n! permutations into n batches by the first endpoint's
-// destination. workers ≤ 0 selects GOMAXPROCS.
+// destination. workers ≤ 0 selects GOMAXPROCS. Routers with cacheable
+// per-pair link sets run the delta engine per shard: one CSR RouteTable is
+// built up front and shared read-only by all workers, each worker owns a
+// DeltaChecker, and each shard is enumerated by EnumerateFullPrefixSwaps —
+// seeded from EnumerateFullPrefix's first permutation, then advanced one
+// Heap swap at a time. Pattern-dependent routers use the per-pattern
+// Checker path unchanged.
 func SweepExhaustiveParallel(r routing.Router, hosts, workers int) *SweepResult {
 	if hosts <= 1 {
 		return SweepExhaustive(r, hosts)
@@ -34,6 +40,59 @@ func SweepExhaustiveParallel(r routing.Router, hosts, workers int) *SweepResult 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if table, err := routing.BuildRouteTable(r, hosts); err == nil {
+		return sweepParallelDelta(table, hosts, workers)
+	}
+	return sweepParallelOracle(r, hosts, workers)
+}
+
+// sweepParallelDelta fans the n delta-swept shards over the worker pool.
+// The table build already routed every pair successfully, so shards cannot
+// hit routing errors and no abort channel is needed.
+func sweepParallelDelta(table *routing.RouteTable, hosts, workers int) *SweepResult {
+	shards := make(chan int)
+	results := make([]SweepResult, hosts)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := NewDeltaChecker(table)
+			for shard := range shards {
+				sr := &results[shard]
+				permutation.EnumerateFullPrefixSwaps(hosts, shard, func(p *permutation.Permutation, i, j int) bool {
+					if i < 0 {
+						d.Reset(p)
+					} else {
+						d.Swap(i, j)
+					}
+					sr.Tested++
+					if d.MaxLoad() > sr.MaxLinkLoad {
+						sr.MaxLinkLoad = d.MaxLoad()
+					}
+					if d.HasContention() {
+						sr.Blocked++
+						if sr.FirstBlocked == nil {
+							sr.FirstBlocked = p.Clone()
+						}
+					}
+					return true
+				})
+			}
+		}()
+	}
+	for shard := 0; shard < hosts; shard++ {
+		shards <- shard
+	}
+	close(shards)
+	wg.Wait()
+	return mergeShardResults(results)
+}
+
+// sweepParallelOracle is the per-pattern Checker engine for routers whose
+// link sets cannot be cached (adaptive, global) or whose table build
+// failed.
+func sweepParallelOracle(r routing.Router, hosts, workers int) *SweepResult {
 	shards := make(chan int)
 	results := make([]SweepResult, hosts)
 	var wg sync.WaitGroup
@@ -87,6 +146,13 @@ func SweepExhaustiveParallel(r routing.Router, hosts, workers int) *SweepResult 
 			return sweepFirstRouteErr(r, hosts)
 		}
 	}
+	return mergeShardResults(results)
+}
+
+// mergeShardResults folds per-shard sweep results deterministically:
+// counts are exact sums, and FirstBlocked is taken from the
+// lowest-numbered blocked shard (in that shard's enumeration order).
+func mergeShardResults(results []SweepResult) *SweepResult {
 	merged := &SweepResult{}
 	for i := range results {
 		sr := &results[i]

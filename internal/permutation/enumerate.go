@@ -12,23 +12,36 @@ package permutation
 // extensions. Adaptive routing additionally requires partial patterns,
 // covered by EnumerateSubsets.
 func EnumerateFull(n int, yield func(*Permutation) bool) bool {
+	return EnumerateFullSwaps(n, func(p *Permutation, _, _ int) bool { return yield(p) })
+}
+
+// EnumerateFullSwaps is EnumerateFull with Heap's algorithm's swap
+// structure exposed: yield additionally receives the two source positions
+// i and j whose destinations were exchanged to reach this pattern from the
+// previous one (i = j = -1 on the first call, which always presents the
+// identity). Successive patterns differ by exactly that one swap, which is
+// what lets delta-maintained contention engines (analysis.DeltaChecker)
+// update per-link state in O(path length) per pattern instead of
+// re-routing all n pairs. The enumeration order is identical to
+// EnumerateFull's — EnumerateFull is a thin wrapper over this function.
+func EnumerateFullSwaps(n int, yield func(p *Permutation, i, j int) bool) bool {
 	p := Identity(n)
 	if n <= 1 {
-		return yield(p)
+		return yield(p, -1, -1)
 	}
 	c := make([]int, n)
-	if !yield(p) {
+	if !yield(p, -1, -1) {
 		return false
 	}
 	i := 0
 	for i < n {
 		if c[i] < i {
-			if i%2 == 0 {
-				p.dst[0], p.dst[i] = p.dst[i], p.dst[0]
-			} else {
-				p.dst[c[i]], p.dst[i] = p.dst[i], p.dst[c[i]]
+			a := 0
+			if i%2 == 1 {
+				a = c[i]
 			}
-			if !yield(p) {
+			p.dst[a], p.dst[i] = p.dst[i], p.dst[a]
+			if !yield(p, a, i) {
 				return false
 			}
 			c[i]++

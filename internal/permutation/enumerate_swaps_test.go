@@ -1,0 +1,164 @@
+package permutation
+
+import "testing"
+
+// TestEnumerateFullSwapsMatchesEnumerateFull pins the swap-reporting
+// enumerator to the classic one: same patterns, same order, and every
+// reported (i, j) actually transforms the previous pattern into the
+// current one.
+func TestEnumerateFullSwapsMatchesEnumerateFull(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		var classic []string
+		EnumerateFull(n, func(p *Permutation) bool {
+			classic = append(classic, p.String())
+			return true
+		})
+		var prev []int
+		idx := 0
+		ok := EnumerateFullSwaps(n, func(p *Permutation, i, j int) bool {
+			if idx >= len(classic) {
+				t.Fatalf("n=%d: more swap patterns than classic", n)
+			}
+			if got := p.String(); got != classic[idx] {
+				t.Fatalf("n=%d pattern %d: %s, want %s", n, idx, got, classic[idx])
+			}
+			if idx == 0 {
+				if i != -1 || j != -1 {
+					t.Fatalf("n=%d: first yield reported swap (%d,%d)", n, i, j)
+				}
+			} else {
+				if i < 0 || j < 0 || i >= n || j >= n || i == j {
+					t.Fatalf("n=%d pattern %d: invalid swap (%d,%d)", n, idx, i, j)
+				}
+				// Applying the reported swap to the previous vector must
+				// reproduce the current one.
+				prev[i], prev[j] = prev[j], prev[i]
+				for s := 0; s < n; s++ {
+					if p.Dst(s) != prev[s] {
+						t.Fatalf("n=%d pattern %d: swap (%d,%d) does not bridge the step", n, idx, i, j)
+					}
+				}
+			}
+			prev = prev[:0]
+			for s := 0; s < n; s++ {
+				prev = append(prev, p.Dst(s))
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			idx++
+			return true
+		})
+		if !ok || idx != len(classic) {
+			t.Fatalf("n=%d: yielded %d of %d (done=%v)", n, idx, len(classic), ok)
+		}
+	}
+}
+
+func TestEnumerateFullSwapsEarlyStop(t *testing.T) {
+	count := 0
+	done := EnumerateFullSwaps(4, func(*Permutation, int, int) bool {
+		count++
+		return count < 3
+	})
+	if done || count != 3 {
+		t.Fatalf("early stop: done=%v count=%d", done, count)
+	}
+}
+
+// TestEnumerateFullPrefixSwapsPartition checks that the n swap-reporting
+// shards partition the n! permutations, keep dst[0] pinned, report valid
+// bridging swaps within each shard, and seed each shard with exactly
+// EnumerateFullPrefix's first pattern.
+func TestEnumerateFullPrefixSwapsPartition(t *testing.T) {
+	n := 6
+	seen := map[string]bool{}
+	total := 0
+	for shard := 0; shard < n; shard++ {
+		var first string
+		EnumerateFullPrefix(n, shard, func(p *Permutation) bool {
+			first = p.String()
+			return false
+		})
+		var prev []int
+		idx := 0
+		ok := EnumerateFullPrefixSwaps(n, shard, func(p *Permutation, i, j int) bool {
+			s := p.String()
+			if seen[s] {
+				t.Fatalf("duplicate %s", s)
+			}
+			seen[s] = true
+			total++
+			if p.Dst(0) != shard {
+				t.Fatalf("shard %d produced %s", shard, s)
+			}
+			if idx == 0 {
+				if i != -1 || j != -1 {
+					t.Fatalf("shard %d: first yield reported swap (%d,%d)", shard, i, j)
+				}
+				if s != first {
+					t.Fatalf("shard %d seed %s, want EnumerateFullPrefix's first %s", shard, s, first)
+				}
+			} else {
+				if i < 1 || j < 1 || i >= n || j >= n || i == j {
+					t.Fatalf("shard %d pattern %d: invalid swap (%d,%d)", shard, idx, i, j)
+				}
+				prev[i], prev[j] = prev[j], prev[i]
+				for k := 0; k < n; k++ {
+					if p.Dst(k) != prev[k] {
+						t.Fatalf("shard %d pattern %d: swap (%d,%d) does not bridge", shard, idx, i, j)
+					}
+				}
+			}
+			prev = prev[:0]
+			for k := 0; k < n; k++ {
+				prev = append(prev, p.Dst(k))
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			idx++
+			return true
+		})
+		if !ok {
+			t.Fatalf("shard %d aborted", shard)
+		}
+	}
+	if total != CountFull(n) {
+		t.Fatalf("total %d, want %d", total, CountFull(n))
+	}
+}
+
+func TestEnumerateFullPrefixSwapsDegenerate(t *testing.T) {
+	if !EnumerateFullPrefixSwaps(0, 0, func(*Permutation, int, int) bool { return true }) {
+		t.Fatal("n=0 shard")
+	}
+	if !EnumerateFullPrefixSwaps(3, 9, func(*Permutation, int, int) bool { return true }) {
+		t.Fatal("out-of-range shard should be empty and complete")
+	}
+	// n=1 and n=2 shards hold a single pattern each.
+	for _, n := range []int{1, 2} {
+		for shard := 0; shard < n; shard++ {
+			count := 0
+			EnumerateFullPrefixSwaps(n, shard, func(p *Permutation, i, j int) bool {
+				count++
+				if i != -1 || j != -1 {
+					t.Fatalf("n=%d: unexpected swap", n)
+				}
+				return true
+			})
+			if count != 1 {
+				t.Fatalf("n=%d shard %d: %d patterns", n, shard, count)
+			}
+		}
+	}
+	// Early stop.
+	count := 0
+	done := EnumerateFullPrefixSwaps(4, 1, func(*Permutation, int, int) bool {
+		count++
+		return count < 2
+	})
+	if done || count != 2 {
+		t.Fatalf("early stop: done=%v count=%d", done, count)
+	}
+}

@@ -41,3 +41,61 @@ func EnumerateFullPrefix(n, dst0 int, yield func(*Permutation) bool) bool {
 	}
 	return rec(1)
 }
+
+// EnumerateFullPrefixSwaps enumerates the same shard as
+// EnumerateFullPrefix — every full permutation whose first source sends to
+// dst0 — but via Heap's algorithm over the remaining n−1 positions, so
+// successive patterns differ by exactly one swap of two destinations. The
+// swap positions are reported to yield exactly as in EnumerateFullSwaps:
+// the first call presents the shard's seed pattern (dst0 followed by the
+// remaining destinations in ascending order, matching EnumerateFullPrefix's
+// first pattern) with i = j = -1, and each later call names the two source
+// positions (both ≥ 1; source 0 is pinned) whose destinations were
+// exchanged. This is the per-shard engine behind the parallel delta sweep:
+// the n shards dst0 = 0..n−1 partition the n! patterns, and each shard is
+// delta-friendly internally.
+func EnumerateFullPrefixSwaps(n, dst0 int, yield func(p *Permutation, i, j int) bool) bool {
+	if n <= 0 {
+		return true
+	}
+	if dst0 < 0 || dst0 >= n {
+		return true // empty shard
+	}
+	p := New(n)
+	p.dst[0] = dst0
+	d := 0
+	for pos := 1; pos < n; pos++ {
+		if d == dst0 {
+			d++
+		}
+		p.dst[pos] = d
+		d++
+	}
+	if !yield(p, -1, -1) {
+		return false
+	}
+	if n <= 2 {
+		return true // the shard holds (n−1)! ≤ 1 patterns
+	}
+	m := n - 1 // Heap's algorithm over positions 1..n-1
+	c := make([]int, m)
+	i := 0
+	for i < m {
+		if c[i] < i {
+			a := 0
+			if i%2 == 1 {
+				a = c[i]
+			}
+			p.dst[a+1], p.dst[i+1] = p.dst[i+1], p.dst[a+1]
+			if !yield(p, a+1, i+1) {
+				return false
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+	return true
+}

@@ -113,3 +113,68 @@ func permFromDsts(t *testing.T, dst []int) *permutation.Permutation {
 	}
 	return p
 }
+
+// FuzzRouteTableParity checks the CSR route-table cache against direct
+// AppendPairLinks output on fuzz-chosen fat-tree shapes and routing
+// schemes: every pair's span must be the deduplicated (first occurrence
+// kept) direct link stream, and table metadata must stay consistent.
+func FuzzRouteTableParity(f *testing.F) {
+	f.Add(2, 4, 3, uint8(0))
+	f.Add(2, 3, 3, uint8(1))
+	f.Add(3, 9, 2, uint8(2))
+	f.Add(2, 2, 2, uint8(3))
+	f.Fuzz(func(t *testing.T, n, m, r int, scheme uint8) {
+		if n < 1 || n > 3 || m < 1 || m > 9 || r < 1 || r > 4 {
+			t.Skip()
+		}
+		ft := topology.NewFoldedClos(n, m, r)
+		var router routing.PairLinkAppender
+		switch scheme % 4 {
+		case 0:
+			router = routing.NewDestMod(ft)
+		case 1:
+			router = routing.NewPaperDeterministicFolded(ft)
+		case 2:
+			router = routing.NewFullSpray(ft)
+		default:
+			k := 1 + int(scheme/4)%m
+			ks, err := routing.NewKSpray(ft, k)
+			if err != nil {
+				t.Skip()
+			}
+			router = ks
+		}
+		tab, err := routing.BuildRouteTable(router, ft.Ports())
+		if err != nil {
+			t.Fatalf("%s on ftree(%d+%d,%d): %v", router.Name(), n, m, r, err)
+		}
+		for s := 0; s < ft.Ports(); s++ {
+			for d := 0; d < ft.Ports(); d++ {
+				raw, err := router.AppendPairLinks(s, d, nil)
+				if err != nil {
+					t.Fatalf("AppendPairLinks(%d,%d): %v", s, d, err)
+				}
+				seen := map[topology.LinkID]bool{}
+				want := []topology.LinkID{}
+				for _, l := range raw {
+					if !seen[l] {
+						seen[l] = true
+						want = append(want, l)
+					}
+				}
+				got := tab.PairLinks(s, d)
+				if len(got) != len(want) {
+					t.Fatalf("pair %d->%d: span %v, want %v", s, d, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("pair %d->%d: span %v, want %v", s, d, got, want)
+					}
+					if int(got[i]) >= tab.NumLinks() {
+						t.Fatalf("pair %d->%d: link %d >= NumLinks %d", s, d, got[i], tab.NumLinks())
+					}
+				}
+			}
+		}
+	})
+}

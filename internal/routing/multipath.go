@@ -58,6 +58,41 @@ func (r *FtreeMultipath) Route(p *permutation.Permutation) (*Assignment, error) 
 	return routePairwise(r.F.Net, p, r.PathsFor)
 }
 
+// AppendPairLinks implements PairLinkAppender: it appends the link IDs of
+// every path in PathsFor(src, dst) without building Path values, with
+// identical error conditions and messages. Links shared by several paths
+// of the set (the host up/down links, always) repeat in the output; the
+// accounting layer deduplicates per pair.
+func (r *FtreeMultipath) AppendPairLinks(src, dst int, buf []topology.LinkID) ([]topology.LinkID, error) {
+	n := r.F.N
+	if src < 0 || src >= r.F.Ports() || dst < 0 || dst >= r.F.Ports() {
+		return buf, fmt.Errorf("host index out of range: %d or %d", src, dst)
+	}
+	if src == dst {
+		return buf, nil
+	}
+	sv, sk := src/n, src%n
+	dv, dk := dst/n, dst%n
+	if sv == dv {
+		return append(buf, r.F.HostUpLink(sv, sk), r.F.HostDownLink(dv, dk)), nil
+	}
+	set := r.TopSet(src, dst)
+	if len(set) == 0 {
+		return buf, fmt.Errorf("empty top-switch set for pair %d->%d", src, dst)
+	}
+	for _, t := range set {
+		if t < 0 || t >= r.F.M {
+			return buf, fmt.Errorf("TopSet(%d,%d) contains %d out of [0,%d)", src, dst, t, r.F.M)
+		}
+		buf = append(buf,
+			r.F.HostUpLink(sv, sk),
+			r.F.UpLink(sv, t),
+			r.F.DownLink(t, dv),
+			r.F.HostDownLink(dv, dk))
+	}
+	return buf, nil
+}
+
 // NewFullSpray returns the maximal oblivious multipath scheme: every
 // cross-switch pair may use all m top switches (per-packet spraying, the
 // InfiniBand LMC-style multipath of [8] pushed to its limit).

@@ -1,0 +1,152 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// ErrPatternDependent is returned by BuildRouteTable for routers whose
+// per-pair paths may depend on the traffic pattern (adaptive, global
+// rearrangeable): their link sets cannot be precomputed per pair, so
+// verification must route every pattern from scratch.
+var ErrPatternDependent = errors.New("routing: per-pair link sets are pattern-dependent and cannot be cached")
+
+// RouteTable is a precomputed all-pairs link-set cache in CSR layout: one
+// flat backing array of link IDs plus an offsets array indexed by
+// src*hosts+dst, so the link set of any SD pair is a zero-allocation slice
+// view obtained with two array reads and no routing work. It is the route
+// layer of the incremental (delta) verification engine: exhaustive sweeps
+// route each of the n×(n−1) pairs exactly once at table-build time instead
+// of once per permutation.
+//
+// Per-pair lists are deduplicated at build time (a multipath set may cross
+// the same link on several paths, but contention accounting loads each
+// link once per pair — the §IV.B rule), so consumers may add and subtract
+// span entries as ±1 load updates without epoch marks. Entry order is
+// first-occurrence order of the underlying router's link stream.
+//
+// A RouteTable is immutable after construction and therefore safe for
+// concurrent readers; parallel sweeps share one table across workers.
+type RouteTable struct {
+	hosts int
+	// offs[s*hosts+d] .. offs[s*hosts+d+1] delimit pair (s, d)'s span in
+	// links. Self-pairs and intra-host pairs occupy empty spans.
+	offs     []int32
+	links    []topology.LinkID
+	numLinks int
+	name     string
+}
+
+// pairLinkAppendFunc adapts r to the AppendPairLinks shape, preferring the
+// allocation-free PairLinkAppender fast path and falling back to
+// materialized PathsFor/PathFor output (build-time only, so the
+// allocations are paid once). Routers implementing none of the pairwise
+// interfaces are pattern-dependent by contract and are rejected.
+func pairLinkAppendFunc(r Router) (func(src, dst int, buf []topology.LinkID) ([]topology.LinkID, error), error) {
+	switch rr := r.(type) {
+	case PairLinkAppender:
+		return rr.AppendPairLinks, nil
+	case MultiPairRouter:
+		return func(src, dst int, buf []topology.LinkID) ([]topology.LinkID, error) {
+			paths, err := rr.PathsFor(src, dst)
+			if err != nil {
+				return buf, err
+			}
+			for _, p := range paths {
+				buf = append(buf, p.Links...)
+			}
+			return buf, nil
+		}, nil
+	case PairRouter:
+		return func(src, dst int, buf []topology.LinkID) ([]topology.LinkID, error) {
+			p, err := rr.PathFor(src, dst)
+			if err != nil {
+				return buf, err
+			}
+			return append(buf, p.Links...), nil
+		}, nil
+	}
+	return nil, ErrPatternDependent
+}
+
+// BuildRouteTable precomputes every SD pair's deduplicated link set for a
+// router with pattern-independent paths (PairLinkAppender, MultiPairRouter
+// or PairRouter — checked in that order). It returns ErrPatternDependent
+// for routers with none of those interfaces, and the first per-pair
+// routing failure, in ascending (src, dst) order, wrapped exactly as the
+// routing layer wraps it ("routing pair s->d: ...").
+func BuildRouteTable(r Router, hosts int) (*RouteTable, error) {
+	if hosts < 0 {
+		return nil, fmt.Errorf("routing: negative host count %d", hosts)
+	}
+	appendLinks, err := pairLinkAppendFunc(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &RouteTable{
+		hosts: hosts,
+		offs:  make([]int32, hosts*hosts+1),
+		links: make([]topology.LinkID, 0, hosts*hosts*4),
+		name:  r.Name(),
+	}
+	var (
+		buf   []topology.LinkID
+		seen  []uint32 // seen[l] == epoch marks l as already in the current pair's span
+		epoch uint32
+	)
+	idx := 0
+	for s := 0; s < hosts; s++ {
+		for d := 0; d < hosts; d++ {
+			buf, err = appendLinks(s, d, buf[:0])
+			if err != nil {
+				return nil, fmt.Errorf("routing pair %d->%d: %w", s, d, err)
+			}
+			epoch++
+			for _, l := range buf {
+				if l < 0 {
+					return nil, fmt.Errorf("routing pair %d->%d: invalid link id %d", s, d, l)
+				}
+				if int(l) >= len(seen) {
+					grown := make([]uint32, int(l)+1)
+					copy(grown, seen)
+					seen = grown
+				}
+				if seen[l] == epoch {
+					continue
+				}
+				seen[l] = epoch
+				t.links = append(t.links, l)
+				if int(l)+1 > t.numLinks {
+					t.numLinks = int(l) + 1
+				}
+			}
+			idx++
+			t.offs[idx] = int32(len(t.links))
+		}
+	}
+	return t, nil
+}
+
+// Hosts reports the endpoint count the table was built for.
+func (t *RouteTable) Hosts() int { return t.hosts }
+
+// NumLinks is one past the largest link ID any pair references — the size
+// consumers need for flat per-link state (zero when no pair crosses any
+// link).
+func (t *RouteTable) NumLinks() int { return t.numLinks }
+
+// RouterName identifies the routing scheme the table caches.
+func (t *RouteTable) RouterName() string { return t.name }
+
+// Entries reports the total number of (pair, link) incidences stored.
+func (t *RouteTable) Entries() int { return len(t.links) }
+
+// PairLinks returns pair (src, dst)'s deduplicated link set as a view into
+// the shared backing array. The slice must not be modified. Indices are
+// unchecked beyond the usual slice bounds: both must be in [0, Hosts()).
+func (t *RouteTable) PairLinks(src, dst int) []topology.LinkID {
+	i := src*t.hosts + dst
+	return t.links[t.offs[i]:t.offs[i+1]]
+}

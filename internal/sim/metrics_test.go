@@ -5,7 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
-	"sort"
+	"slices"
 	"testing"
 
 	"repro/internal/analysis"
@@ -23,7 +23,7 @@ func percentile(xs []int64, p float64) int64 {
 		return 0
 	}
 	cp := append([]int64(nil), xs...)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	slices.Sort(cp)
 	idx := int(math.Ceil(p * float64(len(cp)-1)))
 	if idx >= len(cp) {
 		idx = len(cp) - 1

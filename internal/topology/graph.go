@@ -13,7 +13,7 @@ package topology
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // NodeID identifies a node (host or switch) within one Network.
@@ -243,7 +243,7 @@ func (g *Network) Neighbors(id NodeID) []NodeID {
 			res = append(res, to)
 		}
 	}
-	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	slices.Sort(res)
 	return res
 }
 
