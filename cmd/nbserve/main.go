@@ -1,0 +1,82 @@
+// Command nbserve exposes the paper's verification and simulation engines
+// as a concurrent HTTP JSON service: nonblocking decisions (Lemma-1 exact
+// and sweep-based), adversarial worst-case pattern search, and the
+// crossbar-relative packet simulations, all behind a bounded worker pool
+// with an LRU result cache. Design-space tools that issue many small
+// (n, m, r, routing) queries get concurrency, caching, deadlines, and
+// cancellation that the batch CLIs cannot offer.
+//
+// Usage:
+//
+//	nbserve -addr :8080 -workers 8 -queue 128
+//
+//	curl -s localhost:8080/v1/verify -d '{"n":4,"m":16,"r":20,"routing":"paper"}'
+//	curl -s localhost:8080/v1/worstcase -d '{"n":4,"m":4,"r":8,"routing":"dest-mod"}'
+//	curl -s localhost:8080/v1/sim -d '{"n":2,"m":4,"r":6,"routing":"paper","pattern":"shift"}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: listeners close, in-flight
+// jobs drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 4, "concurrent job executors")
+		queue      = flag.Int("queue", 64, "queued-job bound; overflow returns 429")
+		cacheSize  = flag.Int("cache", 256, "LRU result-cache entries")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+		drain      = flag.Duration("drain", time.Minute, "shutdown drain window for in-flight jobs")
+	)
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "nbserve: listening on %s (%d workers, queue %d, cache %d)\n",
+		*addr, *workers, *queue, *cacheSize)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "nbserve: shutting down, draining in-flight jobs")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Shutdown closes the listener and waits for in-flight handlers,
+		// which block on their jobs; Close then joins the worker pool.
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "nbserve: drain window expired:", err)
+		}
+		s.Close()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "nbserve:", err)
+			os.Exit(1)
+		}
+	}
+}

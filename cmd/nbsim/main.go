@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/api"
 	"repro/internal/permutation"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -56,34 +57,14 @@ func main() {
 }
 
 // simReport is the -json output schema (documented in EXPERIMENTS.md,
-// "Metrics schema"). Exactly one of Closed, Sweep, Trials is populated,
-// keyed by Mode; metrics payloads round-trip through encoding/json.
-type simReport struct {
-	Network        string `json:"network"`
-	Hosts          int    `json:"hosts"`
-	Routing        string `json:"routing"`
-	PacketFlits    int    `json:"packet_flits"`
-	PacketsPerPair int    `json:"packets_per_pair,omitempty"`
-	Arbiter        string `json:"arbiter"`
-	Mode           string `json:"mode"` // closed-loop | open-loop | random-trials
-	Pattern        string `json:"pattern,omitempty"`
-
-	Closed *closedReport          `json:"closed,omitempty"`
-	Sweep  []sim.LoadSweepPoint   `json:"sweep,omitempty"`
-	Trials *sim.ThroughputSummary `json:"trials,omitempty"`
-}
+// "Metrics schema"), shared with the nbserve /v1/sim endpoint so CLI and
+// service tooling interoperate. Exactly one of Closed, Sweep, Trials is
+// populated, keyed by Mode; metrics payloads round-trip through
+// encoding/json.
+type simReport = api.SimReport
 
 // closedReport is the closed-loop (single structured pattern) section.
-type closedReport struct {
-	Pairs            int          `json:"pairs"`
-	ContendedLinks   int          `json:"contended_links"`
-	MaxLinkLoad      int          `json:"max_link_load"`
-	Makespan         int64        `json:"makespan"`
-	CrossbarMakespan int64        `json:"crossbar_makespan"`
-	Slowdown         float64      `json:"slowdown"`
-	MeanLatency      float64      `json:"mean_latency"`
-	Metrics          *sim.Metrics `json:"metrics,omitempty"`
-}
+type closedReport = api.ClosedReport
 
 func emitJSON(out io.Writer, rep *simReport) error {
 	enc := json.NewEncoder(out)

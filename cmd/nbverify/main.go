@@ -18,10 +18,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/analysis"
 	"repro/internal/permutation"
@@ -44,13 +47,23 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *n, *m, *r, *scheme, *trials, *seed, *maxExh, *firstB, *verbose, *pattern); err != nil {
+	// Ctrl-C / SIGTERM cancels a long-running sweep instead of killing the
+	// process mid-output; a cancelled run exits nonzero with context.Canceled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := runCtx(ctx, os.Stdout, *n, *m, *r, *scheme, *trials, *seed, *maxExh, *firstB, *verbose, *pattern); err != nil {
 		fmt.Fprintln(os.Stderr, "nbverify:", err)
 		os.Exit(1)
 	}
 }
 
+// run keeps the pre-context signature for tests and in-process callers.
 func run(out io.Writer, n, m, r int, scheme string, trials int, seed int64, maxExh int, firstBlocked, verbose bool, pattern string) error {
+	return runCtx(context.Background(), out, n, m, r, scheme, trials, seed, maxExh, firstBlocked, verbose, pattern)
+}
+
+func runCtx(ctx context.Context, out io.Writer, n, m, r int, scheme string, trials int, seed int64, maxExh int, firstBlocked, verbose bool, pattern string) error {
 	f := topology.NewFoldedClos(n, m, r)
 	fmt.Fprintf(out, "network: %s (%d hosts, %d switches)\n", f.Net.Name, f.Ports(), f.Switches())
 
@@ -131,15 +144,24 @@ func run(out io.Writer, n, m, r int, scheme string, trials int, seed int64, maxE
 
 	if f.Ports() <= maxExh {
 		if firstBlocked {
-			res := analysis.SweepExhaustiveFirstBlocked(router, f.Ports())
+			res, err := analysis.SweepExhaustiveFirstBlockedCtx(ctx, router, f.Ports())
+			if err != nil {
+				return err
+			}
 			report(out, res, "exhaustive (first-blocked)")
 			return res.RouteErr
 		}
-		res := analysis.SweepExhaustive(router, f.Ports())
+		res, err := analysis.SweepExhaustiveCtx(ctx, router, f.Ports())
+		if err != nil {
+			return err
+		}
 		report(out, res, "exhaustive")
 		return res.RouteErr
 	}
-	res := analysis.SweepRandom(router, f.Ports(), trials, seed)
+	res, err := analysis.SweepRandomCtx(ctx, router, f.Ports(), trials, seed)
+	if err != nil {
+		return err
+	}
 	report(out, res, "randomized+structured")
 	return res.RouteErr
 }

@@ -28,12 +28,19 @@ func main() {
 	destMod := fclos.NewDestMod(f)
 	cfg := fclos.SimConfig{PacketFlits: 4, PacketsPerPair: 8, Arbiter: fclos.ArbiterRoundRobin}
 
-	workloads := []*workload.Workload{
-		workload.AllToAll(hosts),
-		workload.RingExchange(hosts),
-		workload.Stencil2D(6, 6),
-		workload.TransposeWorkload(6, 6),
-		workload.RandomPhases(hosts, 8, 2011),
+	var workloads []*workload.Workload
+	for _, build := range []func() (*workload.Workload, error){
+		func() (*workload.Workload, error) { return workload.AllToAll(hosts) },
+		func() (*workload.Workload, error) { return workload.RingExchange(hosts) },
+		func() (*workload.Workload, error) { return workload.Stencil2D(6, 6) },
+		func() (*workload.Workload, error) { return workload.TransposeWorkload(6, 6) },
+		func() (*workload.Workload, error) { return workload.RandomPhases(hosts, 8, 2011) },
+	} {
+		w, err := build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		workloads = append(workloads, w)
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

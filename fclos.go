@@ -305,6 +305,17 @@ var (
 	SweepExhaustiveOracle       = analysis.SweepExhaustiveOracle
 	SweepExhaustiveFirstBlocked = analysis.SweepExhaustiveFirstBlocked
 	SweepRandom                 = analysis.SweepRandom
+
+	// The Ctx variants accept a context.Context and support cooperative
+	// cancellation: workers poll the context on a stride outside the
+	// per-pattern hot loop, so a context.Background() run costs one nil
+	// check per pattern and matches the plain variants exactly. On
+	// cancellation they return the partial result plus ctx.Err().
+	SweepExhaustiveCtx             = analysis.SweepExhaustiveCtx
+	SweepExhaustiveParallelCtx     = analysis.SweepExhaustiveParallelCtx
+	SweepExhaustiveOracleCtx       = analysis.SweepExhaustiveOracleCtx
+	SweepExhaustiveFirstBlockedCtx = analysis.SweepExhaustiveFirstBlockedCtx
+	SweepRandomCtx                 = analysis.SweepRandomCtx
 	// BlockingProbability estimates P(contention) over random
 	// permutations (Parallel variant splits trials across workers).
 	BlockingProbability         = analysis.BlockingProbability

@@ -42,7 +42,10 @@ func TestIntegrationDesignToDeployment(t *testing.T) {
 
 	// 3. Application workload at crossbar speed.
 	cfg := fclos.SimConfig{PacketFlits: 2, PacketsPerPair: 4}
-	w := fclos.RandomPhases(sys.Ports(), 3, 99)
+	w, err := fclos.RandomPhases(sys.Ports(), 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
 	pr, ok := sys.Router.(fclos.PairRouter)
 	if !ok {
 		t.Fatal("deterministic system should expose a PairRouter")

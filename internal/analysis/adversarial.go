@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/permutation"
@@ -45,25 +46,45 @@ type WorstCaseResult struct {
 // oracle, so results are identical for a given seed. Pattern-dependent
 // routers fall back to re-routing every candidate.
 func (s *WorstCaseSearch) Run() (*WorstCaseResult, error) {
-	if table, err := routing.BuildRouteTable(s.Router, s.Hosts); err == nil {
-		return s.runDelta(table)
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cooperative cancellation: the search polls ctx once
+// per restart and on a stride within the step loop, outside the
+// per-candidate scoring. On cancellation it returns the best pattern found
+// so far together with ctx.Err(), so callers can keep the partial result or
+// discard it. A run completing under a never-cancelled context is identical
+// to Run's for the same seed.
+func (s *WorstCaseSearch) RunCtx(ctx context.Context) (*WorstCaseResult, error) {
+	if err := ctx.Err(); err != nil {
+		return &WorstCaseResult{}, err
 	}
-	return s.runOracle()
+	if table, err := routing.BuildRouteTable(s.Router, s.Hosts); err == nil {
+		return s.runDelta(ctx, table)
+	}
+	return s.runOracle(ctx)
 }
 
 // runDelta is the incremental scorer: one table build up front, then
 // O(path length) per candidate swap.
-func (s *WorstCaseSearch) runDelta(table *routing.RouteTable) (*WorstCaseResult, error) {
+func (s *WorstCaseSearch) runDelta(ctx context.Context, table *routing.RouteTable) (*WorstCaseResult, error) {
 	rng := rand.New(rand.NewSource(s.Seed))
 	best := &WorstCaseResult{}
 	d := NewDeltaChecker(table)
+	cancel := newSweepCanceller(ctx)
 	for restart := 0; restart < s.Restarts; restart++ {
+		if cancel.done != nil && ctx.Err() != nil {
+			return best, ctx.Err()
+		}
 		cur := permutation.Random(rng, s.Hosts)
 		d.Reset(cur)
 		curC, curL := d.ContendedCount(), d.MaxLoad()
 		best.Evaluated++
 		s.consider(best, cur, curC, curL)
 		for step := 0; step < s.Steps; step++ {
+			if cancel.cancelled() {
+				return best, ctx.Err()
+			}
 			// Swap the destinations of two random sources.
 			i, j := rng.Intn(s.Hosts), rng.Intn(s.Hosts)
 			if i == j {
@@ -96,10 +117,11 @@ func (s *WorstCaseSearch) runDelta(table *routing.RouteTable) (*WorstCaseResult,
 
 // runOracle re-routes every candidate pattern from scratch — required for
 // adaptive/global routers, whose paths depend on the whole pattern.
-func (s *WorstCaseSearch) runOracle() (*WorstCaseResult, error) {
+func (s *WorstCaseSearch) runOracle(ctx context.Context) (*WorstCaseResult, error) {
 	rng := rand.New(rand.NewSource(s.Seed))
 	best := &WorstCaseResult{}
 	c := NewChecker(nil)
+	cancel := newSweepCanceller(ctx)
 	score := func(p *permutation.Permutation) (int, int, error) {
 		if err := c.AnalyzePattern(s.Router, p); err != nil {
 			return 0, 0, err
@@ -107,6 +129,9 @@ func (s *WorstCaseSearch) runOracle() (*WorstCaseResult, error) {
 		return c.ContendedCount(), c.MaxLoad(), nil
 	}
 	for restart := 0; restart < s.Restarts; restart++ {
+		if cancel.done != nil && ctx.Err() != nil {
+			return best, ctx.Err()
+		}
 		cur := permutation.Random(rng, s.Hosts)
 		curC, curL, err := score(cur)
 		if err != nil {
@@ -115,6 +140,9 @@ func (s *WorstCaseSearch) runOracle() (*WorstCaseResult, error) {
 		best.Evaluated++
 		s.consider(best, cur, curC, curL)
 		for step := 0; step < s.Steps; step++ {
+			if cancel.cancelled() {
+				return best, ctx.Err()
+			}
 			// Swap the destinations of two random sources.
 			i, j := rng.Intn(s.Hosts), rng.Intn(s.Hosts)
 			if i == j {

@@ -7,6 +7,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -14,6 +15,46 @@ import (
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
+
+// Cancellation support. The sweep engines poll ctx.Done() with a strided
+// counter so the per-pattern hot loop pays at most one nil check per
+// pattern when the context cannot be cancelled (Done() == nil, e.g.
+// context.Background()) and one cheap masked increment otherwise: the
+// delta engine processes a pattern in tens of nanoseconds, so calling
+// ctx.Err() per pattern would dominate the sweep.
+
+// cancelCheckMask strides context polls to every 4096 patterns — frequent
+// enough that cancellation lands within microseconds, rare enough to be
+// invisible in the per-pattern cost.
+const cancelCheckMask = 1<<12 - 1
+
+// sweepCanceller is the strided poll state shared by the sweep loops.
+type sweepCanceller struct {
+	done <-chan struct{}
+	tick uint
+}
+
+func newSweepCanceller(ctx context.Context) sweepCanceller {
+	return sweepCanceller{done: ctx.Done()}
+}
+
+// cancelled reports whether the context fired, polling only every
+// cancelCheckMask+1 calls.
+func (c *sweepCanceller) cancelled() bool {
+	if c.done == nil {
+		return false
+	}
+	c.tick++
+	if c.tick&cancelCheckMask != 0 {
+		return false
+	}
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
 
 // Report is the contention analysis of one routed pattern.
 type Report struct {
@@ -195,7 +236,17 @@ func (s *SweepResult) Nonblocking() bool { return s.Blocked == 0 && s.RouteErr =
 // table build fails — fall back to SweepExhaustiveOracle, so results
 // (including routing-error reporting) are identical either way.
 func SweepExhaustive(r routing.Router, hosts int) *SweepResult {
-	return sweepExhaustiveDelta(r, hosts, false)
+	res, _ := sweepExhaustiveDelta(context.Background(), r, hosts, false)
+	return res
+}
+
+// SweepExhaustiveCtx is SweepExhaustive with cooperative cancellation: the
+// sweep polls ctx between blocks of patterns (never inside the per-pattern
+// accounting) and, once ctx fires, stops and returns the partial result
+// together with ctx.Err(). A run that completes under a never-cancelled
+// context returns a result identical to SweepExhaustive's and a nil error.
+func SweepExhaustiveCtx(ctx context.Context, r routing.Router, hosts int) (*SweepResult, error) {
+	return sweepExhaustiveDelta(ctx, r, hosts, false)
 }
 
 // SweepExhaustiveFirstBlocked is SweepExhaustive in early-exit mode for
@@ -205,7 +256,14 @@ func SweepExhaustive(r routing.Router, hosts int) *SweepResult {
 // MaxLinkLoad covers only the examined prefix. A fully nonblocking router
 // yields a result identical to SweepExhaustive's.
 func SweepExhaustiveFirstBlocked(r routing.Router, hosts int) *SweepResult {
-	return sweepExhaustiveDelta(r, hosts, true)
+	res, _ := sweepExhaustiveDelta(context.Background(), r, hosts, true)
+	return res
+}
+
+// SweepExhaustiveFirstBlockedCtx is SweepExhaustiveFirstBlocked with
+// cooperative cancellation (see SweepExhaustiveCtx).
+func SweepExhaustiveFirstBlockedCtx(ctx context.Context, r routing.Router, hosts int) (*SweepResult, error) {
+	return sweepExhaustiveDelta(ctx, r, hosts, true)
 }
 
 // SweepExhaustiveOracle is the scratch-rebuild reference implementation of
@@ -213,13 +271,29 @@ func SweepExhaustiveFirstBlocked(r routing.Router, hosts int) *SweepResult {
 // state. It is the parity oracle the delta engine is property-tested
 // against, and the engine every pattern-dependent router uses.
 func SweepExhaustiveOracle(r routing.Router, hosts int) *SweepResult {
-	return sweepExhaustiveOracle(r, hosts, false)
+	res, _ := sweepExhaustiveOracle(context.Background(), r, hosts, false)
+	return res
 }
 
-func sweepExhaustiveOracle(r routing.Router, hosts int, firstOnly bool) *SweepResult {
+// SweepExhaustiveOracleCtx is SweepExhaustiveOracle with cooperative
+// cancellation (see SweepExhaustiveCtx).
+func SweepExhaustiveOracleCtx(ctx context.Context, r routing.Router, hosts int) (*SweepResult, error) {
+	return sweepExhaustiveOracle(ctx, r, hosts, false)
+}
+
+func sweepExhaustiveOracle(ctx context.Context, r routing.Router, hosts int, firstOnly bool) (*SweepResult, error) {
 	res := &SweepResult{}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	c := NewChecker(nil)
+	cancel := newSweepCanceller(ctx)
+	cancelled := false
 	permutation.EnumerateFull(hosts, func(p *permutation.Permutation) bool {
+		if cancel.cancelled() {
+			cancelled = true
+			return false
+		}
 		if err := c.AnalyzePattern(r, p); err != nil {
 			res.RouteErr = fmt.Errorf("analysis: pattern %s: %w", p, err)
 			return false
@@ -239,21 +313,34 @@ func sweepExhaustiveOracle(r routing.Router, hosts int, firstOnly bool) *SweepRe
 		}
 		return true
 	})
-	return res
+	if cancelled {
+		return res, ctx.Err()
+	}
+	return res, nil
 }
 
-func sweepExhaustiveDelta(r routing.Router, hosts int, firstOnly bool) *SweepResult {
+func sweepExhaustiveDelta(ctx context.Context, r routing.Router, hosts int, firstOnly bool) (*SweepResult, error) {
+	if err := ctx.Err(); err != nil {
+		return &SweepResult{}, err
+	}
 	t, err := routing.BuildRouteTable(r, hosts)
 	if err != nil {
-		// Pattern-dependent router, or some pair failed to route. The
-		// oracle reproduces the exact sequential accounting either way —
-		// in the failure case including the canonical first routing error
-		// at the first pattern exercising the failing pair.
-		return sweepExhaustiveOracle(r, hosts, firstOnly)
+		// Pattern-dependent router, a pair that failed to route, or a
+		// table too large for the CSR offsets. The oracle reproduces the
+		// exact sequential accounting either way — in the failure case
+		// including the canonical first routing error at the first pattern
+		// exercising the failing pair.
+		return sweepExhaustiveOracle(ctx, r, hosts, firstOnly)
 	}
 	res := &SweepResult{}
 	d := NewDeltaChecker(t)
+	cancel := newSweepCanceller(ctx)
+	cancelled := false
 	permutation.EnumerateFullSwaps(hosts, func(p *permutation.Permutation, i, j int) bool {
+		if cancel.cancelled() {
+			cancelled = true
+			return false
+		}
 		if i < 0 {
 			d.Reset(p)
 		} else {
@@ -274,7 +361,10 @@ func sweepExhaustiveDelta(r routing.Router, hosts int, firstOnly bool) *SweepRes
 		}
 		return true
 	})
-	return res
+	if cancelled {
+		return res, ctx.Err()
+	}
+	return res, nil
 }
 
 // SweepRandom routes trials random full permutations (seeded) plus the
@@ -282,10 +372,37 @@ func sweepExhaustiveDelta(r routing.Router, hosts int, firstOnly bool) *SweepRes
 // rotations, transpose and bit-reversal where the host count allows — and
 // checks contention.
 func SweepRandom(r routing.Router, hosts, trials int, seed int64) *SweepResult {
+	res, _ := sweepRandom(context.Background(), r, hosts, trials, seed)
+	return res
+}
+
+// SweepRandomCtx is SweepRandom with cooperative cancellation: ctx is
+// polled between patterns (each pattern routes all its pairs, so the check
+// is off the per-pair hot path) and a fired ctx stops the sweep, returning
+// the partial result with ctx.Err(). Under a never-cancelled context the
+// result is identical to SweepRandom's.
+func SweepRandomCtx(ctx context.Context, r routing.Router, hosts, trials int, seed int64) (*SweepResult, error) {
+	return sweepRandom(ctx, r, hosts, trials, seed)
+}
+
+func sweepRandom(ctx context.Context, r routing.Router, hosts, trials int, seed int64) (*SweepResult, error) {
 	res := &SweepResult{}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	done := ctx.Done()
+	cancelled := false
 	rng := rand.New(rand.NewSource(seed))
 	c := NewChecker(nil)
 	test := func(p *permutation.Permutation) bool {
+		if done != nil {
+			select {
+			case <-done:
+				cancelled = true
+				return false
+			default:
+			}
+		}
 		if err := c.AnalyzePattern(r, p); err != nil {
 			res.RouteErr = fmt.Errorf("analysis: pattern %s: %w", p, err)
 			return false
@@ -302,35 +419,41 @@ func SweepRandom(r routing.Router, hosts, trials int, seed int64) *SweepResult {
 		}
 		return true
 	}
+	finish := func() (*SweepResult, error) {
+		if cancelled {
+			return res, ctx.Err()
+		}
+		return res, nil
+	}
 	for i := 0; i < trials; i++ {
 		if !test(permutation.Random(rng, hosts)) {
-			return res
+			return finish()
 		}
 	}
 	for i := 0; i < trials/2; i++ {
 		if !test(permutation.RandomPartial(rng, hosts, 0.25+rng.Float64()/2)) {
-			return res
+			return finish()
 		}
 	}
 	for k := 1; k < hosts && k <= 8; k++ {
 		if !test(permutation.Shift(hosts, k)) {
-			return res
+			return finish()
 		}
 	}
 	if hosts > 0 && hosts&(hosts-1) == 0 {
 		if !test(permutation.BitReversal(hosts)) {
-			return res
+			return finish()
 		}
 	}
 	for d := 2; d*d <= hosts; d++ {
 		if hosts%d == 0 {
 			if !test(permutation.Transpose(d, hosts/d)) {
-				return res
+				return finish()
 			}
 		}
 	}
 	test(permutation.Neighbor(hosts))
-	return res
+	return finish()
 }
 
 // BlockingProbability estimates, over trials seeded random full

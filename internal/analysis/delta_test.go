@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -255,7 +256,11 @@ func TestSweepExhaustiveFirstBlockedSemantics(t *testing.T) {
 			t.Fatalf("%s: prefix MaxLinkLoad %d exceeds full %d", c.r.Name(), fb.MaxLinkLoad, full.MaxLinkLoad)
 		}
 		// Oracle early-exit agrees field for field.
-		sameSweepResult(t, c.r.Name(), fb, sweepExhaustiveOracle(c.r, c.hosts, true))
+		oracle, err := sweepExhaustiveOracle(context.Background(), c.r, c.hosts, true)
+		if err != nil {
+			t.Fatalf("%s: oracle sweep: %v", c.r.Name(), err)
+		}
+		sameSweepResult(t, c.r.Name(), fb, oracle)
 	}
 }
 

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -34,33 +35,63 @@ import (
 // Heap swap at a time. Pattern-dependent routers use the per-pattern
 // Checker path unchanged.
 func SweepExhaustiveParallel(r routing.Router, hosts, workers int) *SweepResult {
+	res, _ := sweepExhaustiveParallel(context.Background(), r, hosts, workers)
+	return res
+}
+
+// SweepExhaustiveParallelCtx is SweepExhaustiveParallel with cooperative
+// cancellation: every worker polls ctx on a stride outside its per-pattern
+// accounting, the shard feeder stops once ctx fires, and all workers are
+// joined before the call returns — a cancelled sweep leaks no goroutines.
+// On cancellation the merged partial counters depend on where each worker
+// observed the signal, so treat them as progress indicators only; the
+// returned error is ctx.Err(). A run completing under a never-cancelled
+// context is identical to SweepExhaustiveParallel's.
+func SweepExhaustiveParallelCtx(ctx context.Context, r routing.Router, hosts, workers int) (*SweepResult, error) {
+	return sweepExhaustiveParallel(ctx, r, hosts, workers)
+}
+
+func sweepExhaustiveParallel(ctx context.Context, r routing.Router, hosts, workers int) (*SweepResult, error) {
 	if hosts <= 1 {
-		return SweepExhaustive(r, hosts)
+		return sweepExhaustiveDelta(ctx, r, hosts, false)
+	}
+	if err := ctx.Err(); err != nil {
+		return &SweepResult{}, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if table, err := routing.BuildRouteTable(r, hosts); err == nil {
-		return sweepParallelDelta(table, hosts, workers)
+		return sweepParallelDelta(ctx, table, hosts, workers)
 	}
-	return sweepParallelOracle(r, hosts, workers)
+	return sweepParallelOracle(ctx, r, hosts, workers)
 }
 
 // sweepParallelDelta fans the n delta-swept shards over the worker pool.
 // The table build already routed every pair successfully, so shards cannot
-// hit routing errors and no abort channel is needed.
-func sweepParallelDelta(table *routing.RouteTable, hosts, workers int) *SweepResult {
+// hit routing errors; the only abort source is ctx.
+func sweepParallelDelta(ctx context.Context, table *routing.RouteTable, hosts, workers int) (*SweepResult, error) {
 	shards := make(chan int)
 	results := make([]SweepResult, hosts)
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			d := NewDeltaChecker(table)
+			cancel := newSweepCanceller(ctx)
+			cancelled := false
 			for shard := range shards {
+				if cancelled {
+					continue // drain the channel so the feeder never blocks
+				}
 				sr := &results[shard]
 				permutation.EnumerateFullPrefixSwaps(hosts, shard, func(p *permutation.Permutation, i, j int) bool {
+					if cancel.cancelled() {
+						cancelled = true
+						return false
+					}
 					if i < 0 {
 						d.Reset(p)
 					} else {
@@ -81,20 +112,26 @@ func sweepParallelDelta(table *routing.RouteTable, hosts, workers int) *SweepRes
 			}
 		}()
 	}
+feed:
 	for shard := 0; shard < hosts; shard++ {
-		shards <- shard
+		select {
+		case shards <- shard:
+		case <-done:
+			break feed
+		}
 	}
 	close(shards)
 	wg.Wait()
-	return mergeShardResults(results)
+	return mergeShardResults(results), ctx.Err()
 }
 
 // sweepParallelOracle is the per-pattern Checker engine for routers whose
 // link sets cannot be cached (adaptive, global) or whose table build
 // failed.
-func sweepParallelOracle(r routing.Router, hosts, workers int) *SweepResult {
+func sweepParallelOracle(ctx context.Context, r routing.Router, hosts, workers int) (*SweepResult, error) {
 	shards := make(chan int)
 	results := make([]SweepResult, hosts)
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	var abort atomic.Bool
 
@@ -103,9 +140,18 @@ func sweepParallelOracle(r routing.Router, hosts, workers int) *SweepResult {
 		go func() {
 			defer wg.Done()
 			c := NewChecker(nil)
+			cancel := newSweepCanceller(ctx)
+			cancelled := false
 			for shard := range shards {
+				if cancelled {
+					continue // drain the channel so the feeder never blocks
+				}
 				sr := &results[shard]
 				permutation.EnumerateFullPrefix(hosts, shard, func(p *permutation.Permutation) bool {
+					if cancel.cancelled() {
+						cancelled = true
+						return false
+					}
 					if abort.Load() {
 						return false
 					}
@@ -129,12 +175,20 @@ func sweepParallelOracle(r routing.Router, hosts, workers int) *SweepResult {
 			}
 		}()
 	}
+feed:
 	for shard := 0; shard < hosts; shard++ {
-		shards <- shard
+		select {
+		case shards <- shard:
+		case <-done:
+			break feed
+		}
 	}
 	close(shards)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return mergeShardResults(results), err
+	}
 	for i := range results {
 		if results[i].RouteErr != nil {
 			// Error path: which patterns the other shards managed to test
@@ -143,10 +197,10 @@ func sweepParallelOracle(r routing.Router, hosts, workers int) *SweepResult {
 			// Discard them and re-derive the sequential-order first
 			// routing failure, which is deterministic because every
 			// router's outcome depends only on the pattern.
-			return sweepFirstRouteErr(r, hosts)
+			return sweepFirstRouteErr(r, hosts), nil
 		}
 	}
-	return mergeShardResults(results)
+	return mergeShardResults(results), nil
 }
 
 // mergeShardResults folds per-shard sweep results deterministically:

@@ -1,0 +1,150 @@
+// Package api defines the machine-readable request/response schemas shared
+// by the nbserve HTTP service and the CLI tools. The simulation report here
+// is the exact `nbsim -json` schema (documented in EXPERIMENTS.md), so
+// tooling written against the CLI output consumes nbserve responses
+// unchanged, and vice versa. Everything round-trips through encoding/json.
+package api
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Request is the body of every nbserve POST endpoint. The endpoint path
+// selects the operation; the topology/routing/workload fields mirror the
+// nbsim and nbverify flags one for one. Zero values select the same
+// defaults as the CLIs.
+type Request struct {
+	// Topology: ftree (default) is the paper's folded Clos ftree(n+m, r);
+	// mnt is the m-port n-tree baseline.
+	Topo   string `json:"topo,omitempty"`
+	N      int    `json:"n,omitempty"`
+	M      int    `json:"m,omitempty"` // 0 = n² (Theorem-3 provisioning)
+	R      int    `json:"r,omitempty"`
+	Ports  int    `json:"ports,omitempty"`  // mnt
+	Levels int    `json:"levels,omitempty"` // mnt
+
+	// Routing scheme, same names as the CLIs: paper | paper-folded |
+	// dest-mod | source-mod | dest-switch-mod | random-fixed | adaptive |
+	// greedy-local | global | spray | mnt-dest-mod | mnt-random.
+	Routing    string `json:"routing,omitempty"`
+	SprayWidth int    `json:"spray_width,omitempty"`
+
+	// Verification (POST /v1/verify). Mode: auto (default) picks the exact
+	// Lemma-1 analysis for single-path routers and a sweep otherwise;
+	// exhaustive | exhaustive-parallel | random force an engine.
+	Mode          string `json:"mode,omitempty"`
+	Trials        int    `json:"trials,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+	MaxExhaustive int    `json:"max_exhaustive,omitempty"`
+	FirstBlocked  bool   `json:"first_blocked,omitempty"`
+	Workers       int    `json:"workers,omitempty"`
+
+	// Adversarial search (POST /v1/worstcase).
+	Restarts int `json:"restarts,omitempty"`
+	Steps    int `json:"steps,omitempty"`
+
+	// Simulation (POST /v1/sim), mirroring nbsim: pattern random | shift |
+	// rotate | transpose, or open_loop for the rate sweep.
+	Pattern  string `json:"pattern,omitempty"`
+	Flits    int    `json:"flits,omitempty"`
+	Pkts     int    `json:"pkts,omitempty"`
+	Arbiter  string `json:"arbiter,omitempty"`
+	OpenLoop bool   `json:"open_loop,omitempty"`
+
+	// Execution controls. These do NOT participate in the result-cache key:
+	// they change how a job runs, not what it computes.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	NoCache   bool  `json:"no_cache,omitempty"`
+}
+
+// CacheKey canonicalizes the result-determining fields into a stable
+// string. Two requests with equal keys compute byte-identical responses,
+// so the server may serve one from the other's cached result. Execution
+// controls (timeout, cache directives) and the worker count are excluded:
+// parallel sweeps are deterministic in their merged counters regardless of
+// worker count, and sim trials already split work deterministically.
+// The op is prefixed because the same topology tuple means different work
+// on different endpoints.
+func (q *Request) CacheKey(op string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|topo=%s,n=%d,m=%d,r=%d,ports=%d,levels=%d", op, q.Topo, q.N, q.M, q.R, q.Ports, q.Levels)
+	fmt.Fprintf(&b, "|routing=%s,spray=%d", q.Routing, q.SprayWidth)
+	fmt.Fprintf(&b, "|mode=%s,trials=%d,seed=%d,maxexh=%d,fb=%t", q.Mode, q.Trials, q.Seed, q.MaxExhaustive, q.FirstBlocked)
+	fmt.Fprintf(&b, "|restarts=%d,steps=%d", q.Restarts, q.Steps)
+	fmt.Fprintf(&b, "|pattern=%s,flits=%d,pkts=%d,arbiter=%s,open=%t", q.Pattern, q.Flits, q.Pkts, q.Arbiter, q.OpenLoop)
+	return b.String()
+}
+
+// SimReport is the simulation response and the `nbsim -json` output schema
+// (EXPERIMENTS.md, "Metrics schema"). Exactly one of Closed, Sweep, Trials
+// is populated, keyed by Mode.
+type SimReport struct {
+	Network        string `json:"network"`
+	Hosts          int    `json:"hosts"`
+	Routing        string `json:"routing"`
+	PacketFlits    int    `json:"packet_flits"`
+	PacketsPerPair int    `json:"packets_per_pair,omitempty"`
+	Arbiter        string `json:"arbiter"`
+	Mode           string `json:"mode"` // closed-loop | open-loop | random-trials
+	Pattern        string `json:"pattern,omitempty"`
+
+	Closed *ClosedReport          `json:"closed,omitempty"`
+	Sweep  []sim.LoadSweepPoint   `json:"sweep,omitempty"`
+	Trials *sim.ThroughputSummary `json:"trials,omitempty"`
+}
+
+// ClosedReport is the closed-loop (single structured pattern) section.
+type ClosedReport struct {
+	Pairs            int          `json:"pairs"`
+	ContendedLinks   int          `json:"contended_links"`
+	MaxLinkLoad      int          `json:"max_link_load"`
+	Makespan         int64        `json:"makespan"`
+	CrossbarMakespan int64        `json:"crossbar_makespan"`
+	Slowdown         float64      `json:"slowdown"`
+	MeanLatency      float64      `json:"mean_latency"`
+	Metrics          *sim.Metrics `json:"metrics,omitempty"`
+}
+
+// VerifyReport is the POST /v1/verify response.
+type VerifyReport struct {
+	Network string `json:"network"`
+	Hosts   int    `json:"hosts"`
+	Routing string `json:"routing"`
+	// Method records which engine decided: lemma1-exact | exhaustive |
+	// exhaustive-first-blocked | exhaustive-parallel | random.
+	Method string `json:"method"`
+	// Verdict: nonblocking (exact) | blocking (exact or witnessed) |
+	// no-blocking-found (sweep exhausted without a contended pattern;
+	// exact only if the sweep was exhaustive).
+	Verdict string `json:"verdict"`
+	// Exact is true when the verdict is a proof (Lemma-1 analysis or a
+	// completed exhaustive sweep), false for randomized sampling.
+	Exact bool `json:"exact"`
+	// Sweep statistics (zero for the Lemma-1 path).
+	Tested      int `json:"tested,omitempty"`
+	Blocked     int `json:"blocked,omitempty"`
+	MaxLinkLoad int `json:"max_link_load,omitempty"`
+	// Witness is a concrete blocked permutation ("0->3 1->2 ...") when the
+	// verdict is blocking.
+	Witness string `json:"witness,omitempty"`
+}
+
+// WorstCaseReport is the POST /v1/worstcase response.
+type WorstCaseReport struct {
+	Network        string `json:"network"`
+	Hosts          int    `json:"hosts"`
+	Routing        string `json:"routing"`
+	ContendedLinks int    `json:"contended_links"`
+	MaxLinkLoad    int    `json:"max_link_load"`
+	Evaluated      int    `json:"evaluated"`
+	// Permutation is the most-contended pattern found.
+	Permutation string `json:"permutation,omitempty"`
+}
+
+// ErrorReport is the JSON body of every non-2xx nbserve response.
+type ErrorReport struct {
+	Error string `json:"error"`
+}

@@ -48,15 +48,27 @@ func Collectives(n int, seed int64, cfg sim.Config) (*CollectivesResult, error) 
 	routers := []routing.Router{paper, routing.NewDestMod(f)}
 	res := &CollectivesResult{Hosts: hosts}
 
-	workloads := []*workload.Workload{
-		workload.AllToAll(hosts),
-		workload.RingExchange(hosts),
-		workload.RandomPhases(hosts, 6, seed),
+	a2a, err := workload.AllToAll(hosts)
+	if err != nil {
+		return nil, err
 	}
+	ring, err := workload.RingExchange(hosts)
+	if err != nil {
+		return nil, err
+	}
+	random, err := workload.RandomPhases(hosts, 6, seed)
+	if err != nil {
+		return nil, err
+	}
+	workloads := []*workload.Workload{a2a, ring, random}
 	// A square transpose when the host count allows.
 	for d := 2; d*d <= hosts; d++ {
 		if d*d == hosts {
-			workloads = append(workloads, workload.TransposeWorkload(d, d))
+			tr, err := workload.TransposeWorkload(d, d)
+			if err != nil {
+				return nil, err
+			}
+			workloads = append(workloads, tr)
 		}
 	}
 	for _, w := range workloads {

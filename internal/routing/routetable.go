@@ -3,6 +3,7 @@ package routing
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/topology"
 )
@@ -12,6 +13,24 @@ import (
 // rearrangeable): their link sets cannot be precomputed per pair, so
 // verification must route every pattern from scratch.
 var ErrPatternDependent = errors.New("routing: per-pair link sets are pattern-dependent and cannot be cached")
+
+// ErrRouteTableTooLarge is returned (wrapped) by BuildRouteTable when the
+// total (pair, link) incidence count exceeds what the int32 CSR offsets
+// can address. Without the guard the offset would silently wrap negative
+// and every later pair's span would read garbage; with it, callers fall
+// back to the per-pattern oracle engines exactly as they do for
+// pattern-dependent routers.
+var ErrRouteTableTooLarge = errors.New("routing: route table exceeds int32 CSR offset range")
+
+// maxRouteTableEntries is the largest (pair, link) incidence count the
+// int32 offsets array can delimit. A variable so the overflow guard can be
+// exercised in tests without materializing a >2 GiB table.
+var maxRouteTableEntries = math.MaxInt32
+
+// routeTableStartEpoch is the dedup scratch's initial generation counter —
+// always zero outside tests, which raise it to force an epoch wrap within
+// a small build.
+var routeTableStartEpoch uint32
 
 // RouteTable is a precomputed all-pairs link-set cache in CSR layout: one
 // flat backing array of link IDs plus an offsets array indexed by
@@ -91,11 +110,8 @@ func BuildRouteTable(r Router, hosts int) (*RouteTable, error) {
 		links: make([]topology.LinkID, 0, hosts*hosts*4),
 		name:  r.Name(),
 	}
-	var (
-		buf   []topology.LinkID
-		seen  []uint32 // seen[l] == epoch marks l as already in the current pair's span
-		epoch uint32
-	)
+	var buf []topology.LinkID
+	dedup := linkDedup{epoch: routeTableStartEpoch}
 	idx := 0
 	for s := 0; s < hosts; s++ {
 		for d := 0; d < hosts; d++ {
@@ -103,30 +119,65 @@ func BuildRouteTable(r Router, hosts int) (*RouteTable, error) {
 			if err != nil {
 				return nil, fmt.Errorf("routing pair %d->%d: %w", s, d, err)
 			}
-			epoch++
+			dedup.nextPair()
 			for _, l := range buf {
 				if l < 0 {
 					return nil, fmt.Errorf("routing pair %d->%d: invalid link id %d", s, d, l)
 				}
-				if int(l) >= len(seen) {
-					grown := make([]uint32, int(l)+1)
-					copy(grown, seen)
-					seen = grown
-				}
-				if seen[l] == epoch {
+				if !dedup.firstSight(l) {
 					continue
 				}
-				seen[l] = epoch
 				t.links = append(t.links, l)
 				if int(l)+1 > t.numLinks {
 					t.numLinks = int(l) + 1
 				}
+			}
+			if len(t.links) > maxRouteTableEntries {
+				return nil, fmt.Errorf("routing pair %d->%d: %d entries: %w",
+					s, d, len(t.links), ErrRouteTableTooLarge)
 			}
 			idx++
 			t.offs[idx] = int32(len(t.links))
 		}
 	}
 	return t, nil
+}
+
+// linkDedup is the per-pair link-deduplication scratch: seen[l] == epoch
+// marks link l as already present in the current pair's span, so starting
+// a new pair is one counter increment instead of clearing the slice.
+type linkDedup struct {
+	seen  []uint32
+	epoch uint32
+}
+
+// nextPair opens a fresh dedup generation. When the epoch counter wraps at
+// 2^32 the zero value would alias every never-seen entry (and any entry
+// last marked exactly 2^32 pairs ago), so the scratch is cleared and the
+// epoch restarts at 1 — the same state as a fresh scratch.
+func (d *linkDedup) nextPair() {
+	d.epoch++
+	if d.epoch == 0 {
+		for i := range d.seen {
+			d.seen[i] = 0
+		}
+		d.epoch = 1
+	}
+}
+
+// firstSight marks link l in the current generation and reports whether
+// this is its first occurrence within the pair. l must be non-negative.
+func (d *linkDedup) firstSight(l topology.LinkID) bool {
+	if int(l) >= len(d.seen) {
+		grown := make([]uint32, int(l)+1)
+		copy(grown, d.seen)
+		d.seen = grown
+	}
+	if d.seen[l] == d.epoch {
+		return false
+	}
+	d.seen[l] = d.epoch
+	return true
 }
 
 // Hosts reports the endpoint count the table was built for.

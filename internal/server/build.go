@@ -1,0 +1,386 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/api"
+	"repro/internal/permutation"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// errBadRequest wraps validation failures (unknown topology/routing/
+// pattern, malformed sizes) so the handler maps them to 400 instead of
+// 500. Engine failures (routing errors mid-sweep) stay unwrapped.
+type errBadRequest struct{ err error }
+
+func (e errBadRequest) Error() string { return e.err.Error() }
+func (e errBadRequest) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return errBadRequest{fmt.Errorf(format, args...)}
+}
+
+// normalize fills CLI-equivalent defaults in place. It runs before cache
+// keying, so a request spelling out the defaults and one omitting them
+// share a cache entry.
+func normalize(q *api.Request) {
+	if q.Topo == "" {
+		q.Topo = "ftree"
+	}
+	if q.N == 0 {
+		q.N = 4
+	}
+	if q.M == 0 {
+		q.M = q.N * q.N
+	}
+	if q.R == 0 {
+		q.R = 20
+	}
+	if q.Ports == 0 {
+		q.Ports = 20
+	}
+	if q.Levels == 0 {
+		q.Levels = 2
+	}
+	if q.Routing == "" {
+		if q.Topo == "mnt" {
+			q.Routing = "mnt-dest-mod"
+		} else {
+			q.Routing = "paper"
+		}
+	}
+	if q.Mode == "" {
+		q.Mode = "auto"
+	}
+	if q.Trials == 0 {
+		q.Trials = 500
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	if q.MaxExhaustive == 0 {
+		q.MaxExhaustive = 9
+	}
+	if q.Restarts == 0 {
+		q.Restarts = 8
+	}
+	if q.Steps == 0 {
+		q.Steps = 400
+	}
+	if q.Pattern == "" {
+		q.Pattern = "random"
+	}
+	if q.Flits == 0 {
+		q.Flits = 4
+	}
+	if q.Pkts == 0 {
+		q.Pkts = 8
+	}
+	if q.Arbiter == "" {
+		q.Arbiter = "round-robin"
+	}
+}
+
+// target is a constructed topology + router pair shared by the runners.
+type target struct {
+	net    *topology.Network
+	hosts  int
+	router routing.Router
+	ftree  *topology.FoldedClos // nil for mnt
+}
+
+// buildTarget mirrors the nbsim/nbverify construction switches. Every
+// failure is a bad request: the engines only see targets that exist.
+func buildTarget(q *api.Request) (*target, error) {
+	switch q.Topo {
+	case "ftree":
+		if q.N < 1 || q.M < 1 || q.R < 1 {
+			return nil, badRequest("ftree needs n, m, r >= 1 (have %d, %d, %d)", q.N, q.M, q.R)
+		}
+		f := topology.NewFoldedClos(q.N, q.M, q.R)
+		t := &target{net: f.Net, hosts: f.Ports(), ftree: f}
+		switch q.Routing {
+		case "paper":
+			pr, err := routing.NewPaperDeterministic(f)
+			if err != nil {
+				return nil, badRequest("%v", err)
+			}
+			t.router = pr
+		case "paper-folded":
+			t.router = routing.NewPaperDeterministicFolded(f)
+		case "dest-mod":
+			t.router = routing.NewDestMod(f)
+		case "source-mod":
+			t.router = routing.NewSourceMod(f)
+		case "dest-switch-mod":
+			t.router = routing.NewDestSwitchMod(f)
+		case "random-fixed":
+			t.router = routing.NewRandomFixed(f, q.Seed)
+		case "adaptive":
+			ad, err := routing.NewNonblockingAdaptive(f)
+			if err != nil {
+				return nil, badRequest("%v", err)
+			}
+			t.router = ad
+		case "greedy-local":
+			t.router = routing.NewGreedyLocal(f)
+		case "global":
+			t.router = routing.NewGlobalRearrangeable(f)
+		case "spray":
+			if q.SprayWidth <= 0 || q.SprayWidth >= f.M {
+				t.router = routing.NewFullSpray(f)
+			} else {
+				ks, err := routing.NewKSpray(f, q.SprayWidth)
+				if err != nil {
+					return nil, badRequest("%v", err)
+				}
+				t.router = ks
+			}
+		default:
+			return nil, badRequest("routing %q not available on ftree", q.Routing)
+		}
+		return t, nil
+	case "mnt":
+		if q.Ports < 2 || q.Levels < 1 {
+			return nil, badRequest("mnt needs ports >= 2 and levels >= 1 (have %d, %d)", q.Ports, q.Levels)
+		}
+		mt := topology.NewMPortNTree(q.Ports, q.Levels)
+		t := &target{net: mt.Net, hosts: mt.Hosts()}
+		switch q.Routing {
+		case "mnt-dest-mod":
+			t.router = routing.NewMNTDestMod(mt)
+		case "mnt-random":
+			t.router = routing.NewMNTRandomFixed(mt, q.Seed)
+		default:
+			return nil, badRequest("routing %q not available on mnt", q.Routing)
+		}
+		return t, nil
+	default:
+		return nil, badRequest("unknown topology %q", q.Topo)
+	}
+}
+
+// runVerify answers POST /v1/verify: the nbverify decision procedure with
+// cancellation. Mode auto uses the exact Lemma-1 analysis for single-path
+// routers, an exhaustive sweep up to max_exhaustive hosts, and the
+// randomized+structured sweep beyond; exhaustive | exhaustive-parallel |
+// random force a sweep engine.
+func runVerify(ctx context.Context, q *api.Request) (any, error) {
+	t, err := buildTarget(q)
+	if err != nil {
+		return nil, err
+	}
+	rep := &api.VerifyReport{Network: t.net.Name, Hosts: t.hosts, Routing: t.router.Name()}
+
+	mode := q.Mode
+	if mode == "auto" || mode == "exact" {
+		if pr, ok := t.router.(routing.PairRouter); ok {
+			res, err := analysis.CheckLemma1AllPairs(pr, t.hosts)
+			if err != nil {
+				return nil, err
+			}
+			rep.Method, rep.Exact = "lemma1-exact", true
+			if res.Nonblocking {
+				rep.Verdict = "nonblocking"
+				return rep, nil
+			}
+			rep.Verdict = "blocking"
+			w, err := analysis.BlockingWitness(res, t.hosts)
+			if err != nil {
+				return nil, err
+			}
+			rep.Witness = w.String()
+			return rep, nil
+		}
+		if mode == "exact" {
+			return nil, badRequest("mode exact needs a single-path deterministic routing (got %s)", t.router.Name())
+		}
+		if t.hosts <= q.MaxExhaustive {
+			mode = "exhaustive"
+		} else {
+			mode = "random"
+		}
+	}
+
+	var res *analysis.SweepResult
+	switch mode {
+	case "exhaustive":
+		if q.FirstBlocked {
+			rep.Method = "exhaustive-first-blocked"
+			res, err = analysis.SweepExhaustiveFirstBlockedCtx(ctx, t.router, t.hosts)
+		} else {
+			rep.Method = "exhaustive"
+			res, err = analysis.SweepExhaustiveCtx(ctx, t.router, t.hosts)
+		}
+		rep.Exact = true
+	case "exhaustive-parallel":
+		rep.Method, rep.Exact = "exhaustive-parallel", true
+		res, err = analysis.SweepExhaustiveParallelCtx(ctx, t.router, t.hosts, q.Workers)
+	case "random":
+		rep.Method = "random"
+		res, err = analysis.SweepRandomCtx(ctx, t.router, t.hosts, q.Trials, q.Seed)
+	default:
+		return nil, badRequest("unknown verify mode %q", q.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.RouteErr != nil {
+		return nil, res.RouteErr
+	}
+	rep.Tested, rep.Blocked, rep.MaxLinkLoad = res.Tested, res.Blocked, res.MaxLinkLoad
+	if res.Blocked > 0 {
+		rep.Verdict = "blocking"
+		rep.Witness = res.FirstBlocked.String()
+	} else {
+		rep.Verdict = "no-blocking-found"
+	}
+	return rep, nil
+}
+
+// runWorstCase answers POST /v1/worstcase: the adversarial hill-climbing
+// search for maximally contended permutations.
+func runWorstCase(ctx context.Context, q *api.Request) (any, error) {
+	t, err := buildTarget(q)
+	if err != nil {
+		return nil, err
+	}
+	s := &analysis.WorstCaseSearch{
+		Router: t.router, Hosts: t.hosts,
+		Restarts: q.Restarts, Steps: q.Steps, Seed: q.Seed,
+	}
+	res, err := s.RunCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rep := &api.WorstCaseReport{
+		Network: t.net.Name, Hosts: t.hosts, Routing: t.router.Name(),
+		ContendedLinks: res.ContendedLinks, MaxLinkLoad: res.MaxLoad,
+		Evaluated: res.Evaluated,
+	}
+	if res.Permutation != nil {
+		rep.Permutation = res.Permutation.String()
+	}
+	return rep, nil
+}
+
+// runSim answers POST /v1/sim with the `nbsim -json` report. The packet
+// simulators do not poll mid-run — cancellation is honored between the
+// queue and the start of the simulation — so deadlines bound queue wait
+// plus one run.
+func runSim(ctx context.Context, q *api.Request) (any, error) {
+	t, err := buildTarget(q)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{PacketFlits: q.Flits, PacketsPerPair: q.Pkts, Seed: q.Seed}
+	switch q.Arbiter {
+	case "round-robin":
+		cfg.Arbiter = sim.RoundRobin
+	case "oldest-first":
+		cfg.Arbiter = sim.OldestFirst
+	default:
+		return nil, badRequest("unknown arbiter %q", q.Arbiter)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rep := &api.SimReport{
+		Network: t.net.Name, Hosts: t.hosts, Routing: t.router.Name(),
+		PacketFlits: q.Flits, Arbiter: cfg.Arbiter.String(),
+	}
+
+	if q.OpenLoop {
+		if t.ftree == nil {
+			return nil, badRequest("open_loop supports topo ftree only")
+		}
+		pr, ok := t.router.(routing.PairRouter)
+		if !ok {
+			return nil, badRequest("open_loop needs a single-path deterministic routing (got %s)", t.router.Name())
+		}
+		perm := permutation.SwitchShift(q.N, q.R, 1)
+		dst := make([]int, perm.N())
+		for i := 0; i < perm.N(); i++ {
+			dst[i] = perm.Dst(i)
+		}
+		pairs := sim.PermPairs(dst)
+		base := sim.OpenLoopConfig{
+			PacketFlits:     q.Flits,
+			WarmupPackets:   20,
+			MeasuredPackets: 100,
+			Seed:            q.Seed,
+			Arbiter:         cfg.Arbiter,
+			Collector:       sim.NewMetricsCollector(),
+		}
+		rates := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+		points, err := sim.LoadSweepParallel(t.net, pairs, sim.PairPathsFunc(pr), rates, base)
+		if err != nil {
+			return nil, err
+		}
+		rep.Mode, rep.Pattern, rep.Sweep = "open-loop", "switch-shift", points
+		return rep, nil
+	}
+
+	if q.Pattern == "random" {
+		sum, err := sim.CompareToCrossbarParallel(t.net, t.router, t.hosts, q.Trials, q.Workers, q.Seed, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Mode, rep.Pattern, rep.PacketsPerPair, rep.Trials = "random-trials", "random", q.Pkts, sum
+		return rep, nil
+	}
+
+	var p *permutation.Permutation
+	switch q.Pattern {
+	case "shift":
+		p = permutation.Shift(t.hosts, t.hosts/2)
+	case "rotate":
+		if t.ftree == nil {
+			return nil, badRequest("pattern rotate needs topo ftree")
+		}
+		p = permutation.LocalRotate(q.N, q.R)
+	case "transpose":
+		d := 2
+		for d*d < t.hosts {
+			d++
+		}
+		if d*d != t.hosts {
+			return nil, badRequest("transpose needs a square host count, have %d", t.hosts)
+		}
+		p = permutation.Transpose(d, d)
+	default:
+		return nil, badRequest("unknown pattern %q", q.Pattern)
+	}
+	cfg.Collector = sim.NewMetricsCollector()
+	a, res, err := sim.RunPermutation(t.net, t.router, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if res.Metrics != nil {
+		// Detach from the collector before the crossbar reference reuses it.
+		res.Metrics = res.Metrics.Clone()
+	}
+	cfg.Collector = nil
+	chk := analysis.Check(a)
+	ref, err := sim.CrossbarReference(t.hosts, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Mode, rep.Pattern, rep.PacketsPerPair = "closed-loop", q.Pattern, q.Pkts
+	rep.Closed = &api.ClosedReport{
+		Pairs:            p.Size(),
+		ContendedLinks:   len(chk.Contended),
+		MaxLinkLoad:      chk.MaxLoad,
+		Makespan:         res.Makespan,
+		CrossbarMakespan: ref.Makespan,
+		Slowdown:         res.Slowdown(ref),
+		MeanLatency:      res.MeanLatency(),
+		Metrics:          res.Metrics,
+	}
+	return rep, nil
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// metrics aggregates the service counters exposed on /metrics. Counters
+// are atomics (hot path: one Add per event); the job-latency histogram is
+// the PR-3 sim.Histogram behind a mutex, observed once per completed job
+// (microseconds), so quantiles come for free from its existing JSON
+// marshalling.
+type metrics struct {
+	endpoints map[string]*endpointMetrics
+
+	jobsRun      atomic.Int64 // jobs a worker actually executed
+	jobsRejected atomic.Int64 // backpressure 429s
+	queueDepth   atomic.Int64 // jobs submitted but not yet finished
+
+	mu         sync.Mutex
+	jobLatency sim.Histogram // microseconds per executed job
+}
+
+type endpointMetrics struct {
+	requests  atomic.Int64
+	cacheHits atomic.Int64
+	errors    atomic.Int64
+}
+
+func newMetrics(ops []string) *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(ops))}
+	for _, op := range ops {
+		m.endpoints[op] = &endpointMetrics{}
+	}
+	return m
+}
+
+func (m *metrics) observeJob(micros int64) {
+	m.jobsRun.Add(1)
+	m.mu.Lock()
+	m.jobLatency.Observe(micros)
+	m.mu.Unlock()
+}
+
+// EndpointSnapshot is one endpoint's counters in the /metrics payload.
+type EndpointSnapshot struct {
+	Requests  int64 `json:"requests"`
+	CacheHits int64 `json:"cache_hits"`
+	Errors    int64 `json:"errors"`
+}
+
+// MetricsSnapshot is the /metrics response body.
+type MetricsSnapshot struct {
+	Endpoints    map[string]EndpointSnapshot `json:"endpoints"`
+	JobsRun      int64                       `json:"jobs_run"`
+	JobsRejected int64                       `json:"jobs_rejected"`
+	QueueDepth   int64                       `json:"queue_depth"`
+	CacheEntries int                         `json:"cache_entries"`
+	// JobLatency is the per-job execution-time histogram in microseconds
+	// (sim.Histogram JSON: count, sum, and log-scale buckets).
+	JobLatency *sim.Histogram `json:"job_latency_us"`
+}
+
+func (m *metrics) snapshot(cacheEntries int) *MetricsSnapshot {
+	s := &MetricsSnapshot{
+		Endpoints:    make(map[string]EndpointSnapshot, len(m.endpoints)),
+		JobsRun:      m.jobsRun.Load(),
+		JobsRejected: m.jobsRejected.Load(),
+		QueueDepth:   m.queueDepth.Load(),
+		CacheEntries: cacheEntries,
+	}
+	for op, em := range m.endpoints {
+		s.Endpoints[op] = EndpointSnapshot{
+			Requests:  em.requests.Load(),
+			CacheHits: em.cacheHits.Load(),
+			Errors:    em.errors.Load(),
+		}
+	}
+	m.mu.Lock()
+	h := m.jobLatency // value copy under the lock
+	m.mu.Unlock()
+	s.JobLatency = &h
+	return s
+}

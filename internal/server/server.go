@@ -1,0 +1,250 @@
+// Package server implements nbserve: the paper's verification and
+// simulation engines behind a concurrent HTTP JSON API. The design goals,
+// in order: never lose a correctness property the batch CLIs have
+// (responses are byte-compatible with `nbsim -json`; sweep results are
+// deterministic), bound resource usage under load (a fixed worker pool
+// with queue backpressure — overflow is an immediate 429, not an unbounded
+// goroutine pile), and make repeated design-space queries cheap (an LRU
+// cache over canonicalized requests serves repeats without re-running the
+// sweep). Long sweeps honor per-request deadlines and client disconnects
+// through the context plumbing in internal/analysis, and shutdown drains
+// in-flight jobs before the process exits.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	// Workers is the number of concurrent job executors (0 = 4).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; a full queue
+	// rejects with 429 (0 = 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (0 = 256).
+	CacheEntries int
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// MaxTimeout caps client-supplied deadlines (0 = 30s / 5m).
+	DefaultTimeout, MaxTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+}
+
+// job is one queued unit of work. done is buffered so a worker never
+// blocks handing back a result after the handler has given up.
+type job struct {
+	ctx  context.Context
+	run  func(ctx context.Context) (any, error)
+	done chan jobResult
+}
+
+type jobResult struct {
+	body []byte
+	err  error
+}
+
+// Server is the nbserve core: worker pool, result cache, metrics, and the
+// HTTP handler. Create with New, serve via Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	queue chan *job
+	wg    sync.WaitGroup
+	cache *resultCache
+	met   *metrics
+
+	closeOnce sync.Once
+}
+
+// ops are the job-backed endpoints (metrics are keyed by these names).
+var ops = []string{"verify", "worstcase", "sim"}
+
+// New starts cfg.Workers executor goroutines and returns the server.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		cache: newResultCache(cfg.CacheEntries),
+		met:   newMetrics(ops),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting jobs, waits for queued and in-flight jobs to
+// finish, and joins all workers. Call after the HTTP server has been shut
+// down (http.Server.Shutdown already waits out in-flight handlers, which
+// in turn wait on their jobs, so the queue is quiet by then; Close is the
+// backstop that makes the drain unconditional).
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.queue)
+		s.wg.Wait()
+	})
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		// A job whose deadline elapsed while queued is not worth starting.
+		if err := j.ctx.Err(); err != nil {
+			s.met.queueDepth.Add(-1)
+			j.done <- jobResult{err: err}
+			continue
+		}
+		start := time.Now()
+		out, err := j.run(j.ctx)
+		var res jobResult
+		if err != nil {
+			res.err = err
+		} else {
+			res.body, res.err = json.Marshal(out)
+		}
+		s.met.observeJob(time.Since(start).Microseconds())
+		s.met.queueDepth.Add(-1)
+		j.done <- res
+	}
+}
+
+// Handler returns the nbserve routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/verify", s.jobHandler("verify", runVerify))
+	mux.HandleFunc("/v1/worstcase", s.jobHandler("worstcase", runWorstCase))
+	mux.HandleFunc("/v1/sim", s.jobHandler("sim", runSim))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.met.snapshot(s.cache.len()))
+	})
+	return mux
+}
+
+// jobHandler wires one POST endpoint through the full pipeline:
+// decode → normalize → cache lookup → enqueue (429 on overflow) → wait
+// under the request deadline → cache fill → respond. The X-Nbserve-Cache
+// header says whether the body came from the cache ("hit") or a fresh job
+// ("miss").
+func (s *Server) jobHandler(op string, run func(ctx context.Context, q *api.Request) (any, error)) http.HandlerFunc {
+	em := s.met.endpoints[op]
+	return func(w http.ResponseWriter, r *http.Request) {
+		em.requests.Add(1)
+		if r.Method != http.MethodPost {
+			em.errors.Add(1)
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var q api.Request
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&q); err != nil {
+			em.errors.Add(1)
+			writeError(w, http.StatusBadRequest, "decode request: "+err.Error())
+			return
+		}
+		normalize(&q)
+
+		key := q.CacheKey(op)
+		if !q.NoCache {
+			if body, ok := s.cache.get(key); ok {
+				em.cacheHits.Add(1)
+				writeJSON(w, http.StatusOK, "hit", body)
+				return
+			}
+		}
+
+		timeout := s.cfg.DefaultTimeout
+		if q.TimeoutMs > 0 {
+			timeout = time.Duration(q.TimeoutMs) * time.Millisecond
+		}
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		j := &job{ctx: ctx, done: make(chan jobResult, 1), run: func(ctx context.Context) (any, error) {
+			return run(ctx, &q)
+		}}
+		s.met.queueDepth.Add(1)
+		select {
+		case s.queue <- j:
+		default:
+			s.met.queueDepth.Add(-1)
+			s.met.jobsRejected.Add(1)
+			em.errors.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "job queue full")
+			return
+		}
+
+		res := <-j.done
+		if res.err != nil {
+			em.errors.Add(1)
+			switch {
+			case errors.Is(res.err, context.DeadlineExceeded):
+				writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+res.err.Error())
+			case errors.Is(res.err, context.Canceled):
+				// Client went away; the status is for logs only.
+				writeError(w, http.StatusServiceUnavailable, "request cancelled")
+			case errors.As(res.err, &errBadRequest{}):
+				writeError(w, http.StatusBadRequest, res.err.Error())
+			default:
+				writeError(w, http.StatusInternalServerError, res.err.Error())
+			}
+			return
+		}
+		if !q.NoCache {
+			s.cache.put(key, res.body)
+		}
+		writeJSON(w, http.StatusOK, "miss", res.body)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, cacheState string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Nbserve-Cache", cacheState)
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	body, _ := json.Marshal(api.ErrorReport{Error: msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}

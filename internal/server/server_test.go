@@ -1,0 +1,531 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+func postJSON(t *testing.T, url string, q *api.Request) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getMetrics(t *testing.T, base string) *MetricsSnapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return &m
+}
+
+// TestHTTPSmoke drives the full pipeline over real HTTP on a random port:
+// verify (exact and sweep), sim, health, metrics, and the cache-hit
+// contract — a repeated identical request is served from the cache without
+// running a second job, proven by the job counters.
+func TestHTTPSmoke(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 16})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Exact Lemma-1 verdict on the Theorem-3 provisioned ftree.
+	resp, body := postJSON(t, ts.URL+"/v1/verify", &api.Request{N: 2, M: 4, R: 5, Routing: "paper"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Nbserve-Cache"); got != "miss" {
+		t.Fatalf("first verify served from %q", got)
+	}
+	var vr api.VerifyReport
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Verdict != "nonblocking" || vr.Method != "lemma1-exact" || !vr.Exact {
+		t.Fatalf("verify report %+v", vr)
+	}
+	firstBody := body
+
+	// Under-provisioned folded variant blocks, with a witness.
+	resp, body = postJSON(t, ts.URL+"/v1/verify", &api.Request{N: 2, M: 2, R: 5, Routing: "dest-mod"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify dest-mod: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Verdict != "blocking" || vr.Witness == "" {
+		t.Fatalf("verify dest-mod report %+v", vr)
+	}
+
+	// Forced sweep engines agree with each other.
+	var seq, par api.VerifyReport
+	resp, body = postJSON(t, ts.URL+"/v1/verify", &api.Request{N: 2, M: 12, R: 3, Routing: "adaptive", Mode: "exhaustive"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify exhaustive: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &seq); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/verify", &api.Request{N: 2, M: 12, R: 3, Routing: "adaptive", Mode: "exhaustive-parallel", Workers: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify parallel: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Tested != par.Tested || seq.Blocked != par.Blocked || seq.Verdict != par.Verdict {
+		t.Fatalf("engines disagree: exhaustive %+v vs parallel %+v", seq, par)
+	}
+	if seq.Verdict != "no-blocking-found" || !seq.Exact {
+		t.Fatalf("adaptive sweep report %+v", seq)
+	}
+
+	// Closed-loop sim returns the nbsim -json schema.
+	resp, body = postJSON(t, ts.URL+"/v1/sim", &api.Request{N: 2, M: 4, R: 5, Routing: "paper", Pattern: "shift", Pkts: 2, Flits: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sim: status %d: %s", resp.StatusCode, body)
+	}
+	var sr api.SimReport
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Mode != "closed-loop" || sr.Closed == nil || sr.Closed.Makespan <= 0 {
+		t.Fatalf("sim report %+v", sr)
+	}
+	if sr.Closed.ContendedLinks != 0 {
+		t.Fatalf("nonblocking shift contended %d links", sr.Closed.ContendedLinks)
+	}
+
+	// Worst-case search on a blocking router finds contention.
+	resp, body = postJSON(t, ts.URL+"/v1/worstcase", &api.Request{N: 2, M: 4, R: 5, Routing: "dest-mod", Restarts: 2, Steps: 50})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("worstcase: status %d: %s", resp.StatusCode, body)
+	}
+	var wr api.WorstCaseReport
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Evaluated <= 0 || wr.Permutation == "" {
+		t.Fatalf("worstcase report %+v", wr)
+	}
+
+	// Health endpoint.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", hresp.StatusCode)
+	}
+
+	// Cache: a repeated identical request is a hit and runs no new job.
+	before := getMetrics(t, ts.URL)
+	resp, body2 := postJSON(t, ts.URL+"/v1/verify", &api.Request{N: 2, M: 4, R: 5, Routing: "paper"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached verify: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Nbserve-Cache"); got != "hit" {
+		t.Fatalf("repeat verify served from %q", got)
+	}
+	if !bytes.Equal(body2, firstBody) {
+		t.Fatalf("cached body %s != original %s", body2, firstBody)
+	}
+	after := getMetrics(t, ts.URL)
+	if after.JobsRun != before.JobsRun {
+		t.Fatalf("cache hit ran a job: %d -> %d", before.JobsRun, after.JobsRun)
+	}
+	if after.Endpoints["verify"].CacheHits != before.Endpoints["verify"].CacheHits+1 {
+		t.Fatalf("cache_hits %d -> %d", before.Endpoints["verify"].CacheHits, after.Endpoints["verify"].CacheHits)
+	}
+	if after.JobLatency == nil || after.JobLatency.Count != after.JobsRun {
+		t.Fatalf("latency histogram count %v vs jobs_run %d", after.JobLatency, after.JobsRun)
+	}
+
+	// And the cached body is byte-identical to a fresh no-cache run.
+	resp, fresh := postJSON(t, ts.URL+"/v1/verify", &api.Request{N: 2, M: 4, R: 5, Routing: "paper", NoCache: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("no-cache verify: status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(bytes.TrimSpace(body2), bytes.TrimSpace(fresh)) {
+		t.Fatalf("cached body %s != fresh body %s", body2, fresh)
+	}
+}
+
+// TestBadRequests pins the 400 mapping: malformed JSON, unknown fields,
+// unknown routing/topology/pattern, and GET on a POST endpoint.
+func TestBadRequests(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader([]byte(`{"bogus_field":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", resp.StatusCode)
+	}
+
+	for _, q := range []*api.Request{
+		{Routing: "warp-drive"},
+		{Topo: "torus"},
+		{N: 2, M: 4, R: 5, Routing: "paper", Pattern: "zigzag"},
+	} {
+		url := ts.URL + "/v1/verify"
+		if q.Pattern != "" {
+			url = ts.URL + "/v1/sim"
+		}
+		resp, body := postJSON(t, url, q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%+v: status %d: %s", q, resp.StatusCode, body)
+		}
+		var er api.ErrorReport
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Fatalf("%+v: error body %s", q, body)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d", resp.StatusCode)
+	}
+}
+
+// TestQueueOverflow429 fills a 1-worker, 1-deep server with long jobs and
+// asserts the next request is rejected immediately with 429 and counted in
+// jobs_rejected. The long jobs are adversarial searches with effectively
+// unbounded step budgets, cut off by their own request deadlines, so the
+// test never waits on them.
+func TestQueueOverflow429(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	slow := func(seed int64) *api.Request {
+		return &api.Request{
+			N: 2, M: 4, R: 8, Routing: "dest-mod",
+			Restarts: 1 << 30, Steps: 1 << 30, Seed: seed,
+			TimeoutMs: 3000,
+		}
+	}
+	var wg sync.WaitGroup
+	results := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/v1/worstcase", slow(int64(i+1)))
+			results[i] = resp.StatusCode
+		}(i)
+	}
+	// Wait until one job is running and one is queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for getMetrics(t, ts.URL).QueueDepth < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never saturated the queue")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/worstcase", slow(99))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if m := getMetrics(t, ts.URL); m.JobsRejected == 0 {
+		t.Fatal("jobs_rejected not counted")
+	}
+	wg.Wait()
+	// The saturating jobs end via their deadlines (504), or 200 if a very
+	// fast machine finished the first one before saturation; never 429.
+	for i, code := range results {
+		if code != http.StatusGatewayTimeout && code != http.StatusOK {
+			t.Fatalf("saturating job %d: status %d", i, code)
+		}
+	}
+}
+
+// TestConcurrentLoad fires 500 concurrent requests (a mix of cacheable
+// repeats and distinct keys across all three endpoints) at a pool sized so
+// nothing overflows, and requires every response to succeed. Run under
+// -race this is the data-race gate for the whole pipeline.
+func TestConcurrentLoad(t *testing.T) {
+	s := New(Config{Workers: 8, QueueDepth: 600})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// The default transport caps per-host conns; raise it so 500 requests
+	// actually run concurrently.
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxConnsPerHost = 0
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+
+	const total = 500
+	var wg sync.WaitGroup
+	codes := make([]int, total)
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var (
+				url string
+				q   *api.Request
+			)
+			switch i % 3 {
+			case 0: // exact verify, 5 distinct keys
+				url = ts.URL + "/v1/verify"
+				q = &api.Request{N: 2, M: 4, R: 3 + i%5, Routing: "paper"}
+			case 1: // small exhaustive sweep, heavy repeats
+				url = ts.URL + "/v1/verify"
+				q = &api.Request{N: 2, M: 4, R: 2, Routing: "adaptive", Mode: "exhaustive"}
+			default: // random-trials sim, 4 distinct seeds
+				url = ts.URL + "/v1/sim"
+				q = &api.Request{N: 2, M: 4, R: 3, Routing: "paper", Trials: 2, Pkts: 1, Flits: 2, Seed: int64(1 + i%4)}
+			}
+			body, err := json.Marshal(q)
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				codes[i] = -2
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	m := getMetrics(t, ts.URL)
+	if m.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain", m.QueueDepth)
+	}
+	var requests int64
+	for _, em := range m.Endpoints {
+		requests += em.Requests
+	}
+	if requests != total {
+		t.Fatalf("request counters sum to %d, want %d", requests, total)
+	}
+	// The repeat-heavy mix must have been served mostly from cache: far
+	// fewer jobs ran than requests arrived.
+	if m.JobsRun >= total {
+		t.Fatalf("no caching under load: %d jobs for %d requests", m.JobsRun, total)
+	}
+}
+
+// TestDrainOnShutdown reproduces the nbserve SIGTERM path: Shutdown is
+// called while a job is in flight, and the client still receives the
+// complete response because the drain waits for the handler.
+func TestDrainOnShutdown(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// A worst-case search sized to stay in flight while Shutdown runs:
+	// millions of delta evaluations, hard-capped by its own 4s deadline,
+	// so the outcome is either a complete 200 or a prompt 504 — never a
+	// torn response.
+	type outcome struct {
+		code int
+		body []byte
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		q := &api.Request{N: 2, M: 4, R: 8, Routing: "dest-mod", Restarts: 4, Steps: 1 << 21, TimeoutMs: 4000}
+		body, _ := json.Marshal(q)
+		resp, err := http.Post(base+"/v1/worstcase", "application/json", bytes.NewReader(body))
+		if err != nil {
+			ch <- outcome{code: -1}
+			return
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ch <- outcome{code: resp.StatusCode, body: out}
+	}()
+
+	// Wait until the job is actually in flight, then shut down.
+	deadline := time.Now().Add(2 * time.Second)
+	for getMetrics(t, base).QueueDepth < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+	s.Close()
+
+	got := <-ch
+	if got.code != http.StatusOK && got.code != http.StatusGatewayTimeout {
+		t.Fatalf("in-flight request: status %d body %s", got.code, got.body)
+	}
+	if got.code == http.StatusOK {
+		var wr api.WorstCaseReport
+		if err := json.Unmarshal(got.body, &wr); err != nil || wr.Evaluated == 0 {
+			t.Fatalf("drained response incomplete: %s", got.body)
+		}
+	}
+}
+
+// TestDeadlineExceeded pins the 504 mapping: a request whose budget cannot
+// cover its sweep is cut off promptly by its own deadline.
+func TestDeadlineExceeded(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// 16 hosts exhaustive: ~2·10^13 patterns, impossible; 200ms budget.
+	q := &api.Request{N: 2, M: 4, R: 8, Routing: "paper", Mode: "exhaustive", TimeoutMs: 200}
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/verify", q)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline observed only after %v", elapsed)
+	}
+	var er api.ErrorReport
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		t.Fatalf("error body %s", body)
+	}
+}
+
+// TestCacheLRUEviction exercises the cache directly: capacity bounds hold
+// and eviction is least-recently-used.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("1"))
+	c.put("b", []byte("2"))
+	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("3"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || string(v) != "1" {
+		t.Fatal("a lost")
+	}
+	if v, ok := c.get("c"); !ok || string(v) != "3" {
+		t.Fatal("c lost")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d", c.len())
+	}
+	c.put("c", []byte("33"))
+	if v, _ := c.get("c"); string(v) != "33" {
+		t.Fatal("re-put did not refresh value")
+	}
+}
+
+// TestCacheKeyNormalization: a request spelling out the defaults and one
+// omitting them share a cache key; changing a result-determining field
+// changes it; execution controls do not.
+func TestCacheKeyNormalization(t *testing.T) {
+	a := &api.Request{}
+	b := &api.Request{Topo: "ftree", N: 4, M: 16, R: 20, Routing: "paper", Mode: "auto",
+		Trials: 500, Seed: 1, MaxExhaustive: 9, Restarts: 8, Steps: 400,
+		Pattern: "random", Flits: 4, Pkts: 8, Arbiter: "round-robin"}
+	normalize(a)
+	normalize(b)
+	if a.CacheKey("verify") != b.CacheKey("verify") {
+		t.Fatalf("default and explicit keys differ:\n%s\n%s", a.CacheKey("verify"), b.CacheKey("verify"))
+	}
+	c := &api.Request{Seed: 2}
+	normalize(c)
+	if a.CacheKey("verify") == c.CacheKey("verify") {
+		t.Fatal("seed not in cache key")
+	}
+	d := &api.Request{TimeoutMs: 9999, NoCache: true, Workers: 7}
+	normalize(d)
+	if a.CacheKey("verify") != d.CacheKey("verify") {
+		t.Fatal("execution controls leaked into the cache key")
+	}
+	if a.CacheKey("verify") == a.CacheKey("sim") {
+		t.Fatal("op not in cache key")
+	}
+}
+
+func ExampleServer() {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(&api.Request{N: 2, M: 4, R: 5, Routing: "paper"})
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	var vr api.VerifyReport
+	json.NewDecoder(resp.Body).Decode(&vr)
+	fmt.Println(vr.Verdict, vr.Method)
+	// Output: nonblocking lemma1-exact
+}

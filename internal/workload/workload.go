@@ -56,28 +56,39 @@ func (w *Workload) Validate() error {
 	return nil
 }
 
+// The constructors below validate and return errors instead of panicking:
+// they are reachable from user input through the nbserve API and the CLIs,
+// where a malformed host count must surface as a 4xx/usage error, not a
+// crashed process. They also use only caller-seeded rand.Rand instances —
+// never the global math/rand source — so workload construction stays
+// byte-identical across the deterministic parallel trial drivers.
+
 // AllToAll is the canonical personalized all-to-all (MPI_Alltoall) in its
 // shift decomposition: hosts−1 phases, phase k sending i → (i+k) mod hosts.
-func AllToAll(hosts int) *Workload {
+// hosts must be at least 2.
+func AllToAll(hosts int) (*Workload, error) {
+	if hosts < 2 {
+		return nil, fmt.Errorf("workload: all-to-all needs at least 2 hosts, have %d", hosts)
+	}
 	w := &Workload{Name: fmt.Sprintf("all-to-all(%d)", hosts)}
 	for k := 1; k < hosts; k++ {
 		w.Phases = append(w.Phases, permutation.Shift(hosts, k))
 	}
-	return w
+	return w, nil
 }
 
 // ButterflyExchange is the recursive-doubling exchange (allreduce,
 // broadcast trees): log2(hosts) phases, phase k pairing i ↔ i XOR 2^k.
-// hosts must be a power of two.
-func ButterflyExchange(hosts int) *Workload {
-	if hosts <= 0 || hosts&(hosts-1) != 0 {
-		panic(fmt.Sprintf("workload: butterfly needs a power-of-two host count, have %d", hosts))
+// hosts must be a power of two, at least 2.
+func ButterflyExchange(hosts int) (*Workload, error) {
+	if hosts < 2 || hosts&(hosts-1) != 0 {
+		return nil, fmt.Errorf("workload: butterfly needs a power-of-two host count ≥ 2, have %d", hosts)
 	}
 	w := &Workload{Name: fmt.Sprintf("butterfly(%d)", hosts)}
 	for bit := 1; bit < hosts; bit <<= 1 {
 		w.Phases = append(w.Phases, permutation.Butterfly(hosts, log2(bit)))
 	}
-	return w
+	return w, nil
 }
 
 func log2(x int) int {
@@ -89,63 +100,83 @@ func log2(x int) int {
 }
 
 // RingExchange is the halo pattern of 1-D domain decompositions: two
-// phases, +1 and −1 cyclic shifts.
-func RingExchange(hosts int) *Workload {
+// phases, +1 and −1 cyclic shifts. hosts must be at least 2.
+func RingExchange(hosts int) (*Workload, error) {
+	if hosts < 2 {
+		return nil, fmt.Errorf("workload: ring needs at least 2 hosts, have %d", hosts)
+	}
 	return &Workload{
 		Name: fmt.Sprintf("ring(%d)", hosts),
 		Phases: []*permutation.Permutation{
 			permutation.Shift(hosts, 1),
 			permutation.Shift(hosts, -1),
 		},
-	}
+	}, nil
 }
 
 // Stencil2D is the 4-phase halo exchange of a rows×cols 2-D domain
 // decomposition (periodic boundaries): east, west, south, north shifts.
-// Host (i, j) is endpoint i·cols+j.
-func Stencil2D(rows, cols int) *Workload {
-	if rows <= 0 || cols <= 0 {
-		panic(fmt.Sprintf("workload: invalid stencil %dx%d", rows, cols))
+// Host (i, j) is endpoint i·cols+j. Both dimensions must be positive with
+// at least 2 endpoints total.
+func Stencil2D(rows, cols int) (*Workload, error) {
+	if rows <= 0 || cols <= 0 || rows*cols < 2 {
+		return nil, fmt.Errorf("workload: invalid stencil %dx%d", rows, cols)
 	}
 	n := rows * cols
-	mk := func(di, dj int) *permutation.Permutation {
+	mk := func(di, dj int) (*permutation.Permutation, error) {
 		p := permutation.New(n)
 		for i := 0; i < rows; i++ {
 			for j := 0; j < cols; j++ {
 				ti := ((i+di)%rows + rows) % rows
 				tj := ((j+dj)%cols + cols) % cols
 				if err := p.Add(i*cols+j, ti*cols+tj); err != nil {
-					panic(err) // shifts are bijections; failure is a bug
+					// Shifts are bijections; failure is an internal bug,
+					// but propagate it rather than crash the caller.
+					return nil, fmt.Errorf("workload: stencil %dx%d phase (%d,%d): %w", rows, cols, di, dj, err)
 				}
 			}
 		}
-		return p
+		return p, nil
 	}
-	return &Workload{
-		Name: fmt.Sprintf("stencil(%dx%d)", rows, cols),
-		Phases: []*permutation.Permutation{
-			mk(0, 1), mk(0, -1), mk(1, 0), mk(-1, 0),
-		},
+	w := &Workload{Name: fmt.Sprintf("stencil(%dx%d)", rows, cols)}
+	for _, d := range [][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}} {
+		p, err := mk(d[0], d[1])
+		if err != nil {
+			return nil, err
+		}
+		w.Phases = append(w.Phases, p)
 	}
+	return w, nil
 }
 
 // TransposeWorkload is the single-phase matrix transpose (FFT, 2-D
-// redistribution): endpoint (i, j) → (j, i) for an rows×cols layout.
-func TransposeWorkload(rows, cols int) *Workload {
+// redistribution): endpoint (i, j) → (j, i) for an rows×cols layout. Both
+// dimensions must be positive with at least 2 endpoints total.
+func TransposeWorkload(rows, cols int) (*Workload, error) {
+	if rows <= 0 || cols <= 0 || rows*cols < 2 {
+		return nil, fmt.Errorf("workload: invalid transpose %dx%d", rows, cols)
+	}
 	return &Workload{
 		Name:   fmt.Sprintf("transpose(%dx%d)", rows, cols),
 		Phases: []*permutation.Permutation{permutation.Transpose(rows, cols)},
-	}
+	}, nil
 }
 
 // RandomPhases is a synthetic workload of seeded random full permutations.
-func RandomPhases(hosts, phases int, seed int64) *Workload {
+// hosts must be at least 2 and phases at least 1.
+func RandomPhases(hosts, phases int, seed int64) (*Workload, error) {
+	if hosts < 2 {
+		return nil, fmt.Errorf("workload: random phases need at least 2 hosts, have %d", hosts)
+	}
+	if phases < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 random phase, have %d", phases)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	w := &Workload{Name: fmt.Sprintf("random(%d x %d)", hosts, phases)}
 	for i := 0; i < phases; i++ {
 		w.Phases = append(w.Phases, permutation.Random(rng, hosts))
 	}
-	return w
+	return w, nil
 }
 
 // PhaseResult is the outcome of one simulated phase.

@@ -8,6 +8,15 @@ import (
 	"repro/internal/topology"
 )
 
+// mustWorkload unwraps a constructor result for tests exercising valid
+// inputs.
+func mustWorkload(w *Workload, err error) *Workload {
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 // contendedLinksOracle is the verbatim pre-PR nested-map implementation of
 // per-phase contention counting, kept as the oracle for the flat-array
 // analysis.Checker accounting Run now uses.
@@ -39,7 +48,11 @@ func TestContendedLinksMatchesMapOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 	routers := []routing.Router{paper, routing.NewDestMod(f), routing.NewSourceMod(f)}
-	for _, w := range []*Workload{AllToAll(f.Ports()), RandomPhases(f.Ports(), 6, 3), RingExchange(f.Ports())} {
+	for _, w := range []*Workload{
+		mustWorkload(AllToAll(f.Ports())),
+		mustWorkload(RandomPhases(f.Ports(), 6, 3)),
+		mustWorkload(RingExchange(f.Ports())),
+	} {
 		for _, r := range routers {
 			res, err := Run(f.Net, r, w, sim.Config{PacketFlits: 2, PacketsPerPair: 1})
 			if err != nil {
@@ -61,34 +74,34 @@ func TestContendedLinksMatchesMapOracle(t *testing.T) {
 
 func TestGeneratorsValid(t *testing.T) {
 	cases := []*Workload{
-		AllToAll(10),
-		ButterflyExchange(16),
-		RingExchange(7),
-		Stencil2D(3, 4),
-		TransposeWorkload(3, 4),
-		RandomPhases(8, 5, 1),
+		mustWorkload(AllToAll(10)),
+		mustWorkload(ButterflyExchange(16)),
+		mustWorkload(RingExchange(7)),
+		mustWorkload(Stencil2D(3, 4)),
+		mustWorkload(TransposeWorkload(3, 4)),
+		mustWorkload(RandomPhases(8, 5, 1)),
 	}
 	for _, w := range cases {
 		if err := w.Validate(); err != nil {
 			t.Errorf("%s: %v", w.Name, err)
 		}
 	}
-	if len(AllToAll(10).Phases) != 9 {
+	if len(mustWorkload(AllToAll(10)).Phases) != 9 {
 		t.Fatal("all-to-all phase count")
 	}
-	if len(ButterflyExchange(16).Phases) != 4 {
+	if len(mustWorkload(ButterflyExchange(16)).Phases) != 4 {
 		t.Fatal("butterfly phase count")
 	}
-	if len(Stencil2D(3, 4).Phases) != 4 {
+	if len(mustWorkload(Stencil2D(3, 4)).Phases) != 4 {
 		t.Fatal("stencil phase count")
 	}
-	if got := AllToAll(10).Hosts(); got != 10 {
+	if got := mustWorkload(AllToAll(10)).Hosts(); got != 10 {
 		t.Fatalf("hosts = %d", got)
 	}
 }
 
 func TestStencilNeighborsCorrect(t *testing.T) {
-	w := Stencil2D(3, 4)
+	w := mustWorkload(Stencil2D(3, 4))
 	east := w.Phases[0]
 	// (1,1) = endpoint 5 sends east to (1,2) = 6.
 	if east.Dst(5) != 6 {
@@ -109,30 +122,43 @@ func TestValidateRejections(t *testing.T) {
 	if err := (&Workload{Name: "empty"}).Validate(); err == nil {
 		t.Fatal("empty workload accepted")
 	}
-	w := RingExchange(4)
-	w.Phases = append(w.Phases, AllToAll(6).Phases[0])
+	w := mustWorkload(RingExchange(4))
+	w.Phases = append(w.Phases, mustWorkload(AllToAll(6)).Phases[0])
 	if err := w.Validate(); err == nil {
 		t.Fatal("mixed-size phases accepted")
 	}
 	if (&Workload{}).Hosts() != 0 {
 		t.Fatal("empty Hosts")
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("non-power-of-two butterfly should panic")
-			}
-		}()
-		ButterflyExchange(6)
-	}()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("invalid stencil should panic")
-			}
-		}()
-		Stencil2D(0, 3)
-	}()
+}
+
+// TestConstructorsRejectInvalidInput pins the error (not panic) contract:
+// every generator is reachable from nbserve/CLI user input, so malformed
+// sizes must come back as errors.
+func TestConstructorsRejectInvalidInput(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"butterfly non-power-of-two", func() error { _, err := ButterflyExchange(6); return err }()},
+		{"butterfly zero", func() error { _, err := ButterflyExchange(0); return err }()},
+		{"butterfly negative", func() error { _, err := ButterflyExchange(-8); return err }()},
+		{"stencil zero rows", func() error { _, err := Stencil2D(0, 3); return err }()},
+		{"stencil negative cols", func() error { _, err := Stencil2D(3, -1); return err }()},
+		{"stencil 1x1", func() error { _, err := Stencil2D(1, 1); return err }()},
+		{"transpose zero", func() error { _, err := TransposeWorkload(0, 5); return err }()},
+		{"all-to-all one host", func() error { _, err := AllToAll(1); return err }()},
+		{"all-to-all negative", func() error { _, err := AllToAll(-3); return err }()},
+		{"ring one host", func() error { _, err := RingExchange(1); return err }()},
+		{"ring negative", func() error { _, err := RingExchange(-1); return err }()},
+		{"random negative hosts", func() error { _, err := RandomPhases(-1, 3, 1); return err }()},
+		{"random zero phases", func() error { _, err := RandomPhases(8, 0, 1); return err }()},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
 }
 
 func TestRunNonblockingMatchesCrossbarShape(t *testing.T) {
@@ -144,7 +170,7 @@ func TestRunNonblockingMatchesCrossbarShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := AllToAll(f.Ports())
+	w := mustWorkload(AllToAll(f.Ports()))
 	cfg := sim.Config{PacketFlits: 2, PacketsPerPair: 4}
 	nb, err := Run(f.Net, paper, w, cfg)
 	if err != nil {
@@ -163,7 +189,7 @@ func TestRunNonblockingMatchesCrossbarShape(t *testing.T) {
 	// Shift phases happen to avoid dest-mod collisions on this small
 	// configuration (consecutive destinations differ mod m); random
 	// phases expose the contention.
-	rw := RandomPhases(f.Ports(), 10, 1)
+	rw := mustWorkload(RandomPhases(f.Ports(), 10, 1))
 	nbR, err := Run(f.Net, paper, rw, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -192,7 +218,7 @@ func TestRunErrorsPropagate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(f.Net, ad, AllToAll(f.Ports()), sim.Config{PacketFlits: 2, PacketsPerPair: 2}); err == nil {
+	if _, err := Run(f.Net, ad, mustWorkload(AllToAll(f.Ports())), sim.Config{PacketFlits: 2, PacketsPerPair: 2}); err == nil {
 		t.Fatal("expected routing error with m=1")
 	}
 	if _, err := Run(f.Net, ad, &Workload{Name: "empty"}, sim.Config{PacketFlits: 2, PacketsPerPair: 2}); err == nil {
@@ -219,7 +245,7 @@ func TestRunMetricsAggregation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := RingExchange(f.Ports())
+	w := mustWorkload(RingExchange(f.Ports()))
 	cfg := sim.Config{PacketFlits: 2, PacketsPerPair: 4, Collector: sim.NewMetricsCollector()}
 	res, err := Run(f.Net, paper, w, cfg)
 	if err != nil {
