@@ -4,14 +4,14 @@ GO ?= go
 
 # Single source of truth for the race-detector package list; CI runs
 # `make race` so the two can never drift.
-RACE_PKGS ?= ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal/experiments/ ./internal/workload/ ./internal/server/
+RACE_PKGS ?= ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal/experiments/ ./internal/workload/ ./internal/server/ ./internal/store/
 
 # Per-target budget for the fuzz smoke pass (`go test -fuzz` accepts one
 # target per invocation).
 FUZZTIME ?= 30s
 FUZZ_TARGETS := FuzzEdgeColorBipartite FuzzBenesLooping FuzzRouteTableParity
 
-.PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke report tables examples clean
+.PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke batch-smoke report tables examples clean
 
 all: build test
 
@@ -21,6 +21,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Batch-endpoint smoke: the mixed 50-point batch (duplicates + one invalid
+# item), dedup/cache-hit counters, and the persistent-store restart path.
+# CI runs this as its own step so a batch regression is named in the log.
+batch-smoke:
+	$(GO) test ./internal/server/ -count=1 -run 'TestBatch|TestFileStoreRestartHit'
 
 race:
 	$(GO) test -race $(RACE_PKGS)

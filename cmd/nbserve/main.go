@@ -9,8 +9,10 @@
 // Usage:
 //
 //	nbserve -addr :8080 -workers 8 -queue 128
+//	nbserve -store file -store-path nbserve-results.log   # cache survives restarts
 //
 //	curl -s localhost:8080/v1/verify -d '{"n":4,"m":16,"r":20,"routing":"paper"}'
+//	curl -s localhost:8080/v1/verify/batch -d '{"items":[{"n":2,"r":4},{"n":2,"r":5}]}'
 //	curl -s localhost:8080/v1/worstcase -d '{"n":4,"m":4,"r":8,"routing":"dest-mod"}'
 //	curl -s localhost:8080/v1/sim -d '{"n":2,"m":4,"r":6,"routing":"paper","pattern":"shift"}'
 //	curl -s localhost:8080/metrics
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -38,17 +41,39 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		workers    = flag.Int("workers", 4, "concurrent job executors")
 		queue      = flag.Int("queue", 64, "queued-job bound; overflow returns 429")
-		cacheSize  = flag.Int("cache", 256, "LRU result-cache entries")
+		cacheSize  = flag.Int("cache", 256, "result-store entry bound (both backends)")
+		storeKind  = flag.String("store", "memory", "result-store backend: memory | file")
+		storePath  = flag.String("store-path", "nbserve-results.log", "file-store log path (with -store file)")
+		batchMax   = flag.Int("batch-max", 256, "item bound for one /v1/verify/batch call")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 		drain      = flag.Duration("drain", time.Minute, "shutdown drain window for in-flight jobs")
 	)
 	flag.Parse()
 
+	var st store.Store
+	switch *storeKind {
+	case "memory":
+		// Leave Config.Store nil; the server builds its own memory LRU.
+	case "file":
+		fs, err := store.NewFile(*storePath, *cacheSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nbserve:", err)
+			os.Exit(1)
+		}
+		st = fs
+		fmt.Fprintf(os.Stderr, "nbserve: file store %s (%d entries replayed)\n", *storePath, fs.Len())
+	default:
+		fmt.Fprintf(os.Stderr, "nbserve: unknown -store %q (memory | file)\n", *storeKind)
+		os.Exit(1)
+	}
+
 	s := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheSize,
+		Store:          st,
+		MaxBatchItems:  *batchMax,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	})
@@ -59,8 +84,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "nbserve: listening on %s (%d workers, queue %d, cache %d)\n",
-		*addr, *workers, *queue, *cacheSize)
+	fmt.Fprintf(os.Stderr, "nbserve: listening on %s (%d workers, queue %d, %s store, %d entries)\n",
+		*addr, *workers, *queue, *storeKind, *cacheSize)
 
 	select {
 	case <-ctx.Done():
@@ -74,6 +99,7 @@ func main() {
 		}
 		s.Close()
 	case err := <-errCh:
+		s.Close()
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "nbserve:", err)
 			os.Exit(1)

@@ -6,6 +6,7 @@
 package api
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -34,10 +35,16 @@ type Request struct {
 
 	// Verification (POST /v1/verify). Mode: auto (default) picks the exact
 	// Lemma-1 analysis for single-path routers and a sweep otherwise;
-	// exhaustive | exhaustive-parallel | random force an engine.
-	Mode          string `json:"mode,omitempty"`
-	Trials        int    `json:"trials,omitempty"`
-	Seed          int64  `json:"seed,omitempty"`
+	// exhaustive | exhaustive-parallel | random force an engine. Forcing an
+	// exhaustive engine over more than max_exhaustive hosts is refused with
+	// a 400 (hosts! patterns): raising max_exhaustive in the request is the
+	// explicit opt-in for bigger sweeps.
+	Mode   string `json:"mode,omitempty"`
+	Trials int    `json:"trials,omitempty"`
+	// Seed is a pointer so "absent" (nil → default 1) is distinct from an
+	// explicit {"seed": 0}: seed 0 is a legal, requestable RNG seed.
+	// Construct literals with SeedPtr; read through SeedValue.
+	Seed          *int64 `json:"seed,omitempty"`
 	MaxExhaustive int    `json:"max_exhaustive,omitempty"`
 	FirstBlocked  bool   `json:"first_blocked,omitempty"`
 	Workers       int    `json:"workers,omitempty"`
@@ -72,10 +79,66 @@ func (q *Request) CacheKey(op string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|topo=%s,n=%d,m=%d,r=%d,ports=%d,levels=%d", op, q.Topo, q.N, q.M, q.R, q.Ports, q.Levels)
 	fmt.Fprintf(&b, "|routing=%s,spray=%d", q.Routing, q.SprayWidth)
-	fmt.Fprintf(&b, "|mode=%s,trials=%d,seed=%d,maxexh=%d,fb=%t", q.Mode, q.Trials, q.Seed, q.MaxExhaustive, q.FirstBlocked)
+	fmt.Fprintf(&b, "|mode=%s,trials=%d,seed=%d,maxexh=%d,fb=%t", q.Mode, q.Trials, q.SeedValue(), q.MaxExhaustive, q.FirstBlocked)
 	fmt.Fprintf(&b, "|restarts=%d,steps=%d", q.Restarts, q.Steps)
 	fmt.Fprintf(&b, "|pattern=%s,flits=%d,pkts=%d,arbiter=%s,open=%t", q.Pattern, q.Flits, q.Pkts, q.Arbiter, q.OpenLoop)
 	return b.String()
+}
+
+// SeedPtr returns v as a *int64, for constructing Request literals with an
+// explicit seed (including the previously unrequestable seed 0).
+func SeedPtr(v int64) *int64 { return &v }
+
+// SeedValue resolves the request seed: nil (field absent) selects the
+// CLI default of 1; any explicit value — zero included — is itself.
+// CacheKey uses this resolution, so an absent seed and an explicit
+// {"seed": 1} stay one cache entry, exactly as before the pointer change.
+func (q *Request) SeedValue() int64 {
+	if q.Seed == nil {
+		return 1
+	}
+	return *q.Seed
+}
+
+// BatchRequest is the body of POST /v1/verify/batch: many verify points in
+// one call. Items with identical canonical cache keys are deduplicated
+// within the batch (one computation, every item answered); the rest fan
+// out across the server's worker pool. TimeoutMs bounds the whole batch;
+// NoCache bypasses the result store for every item (an individual item's
+// no_cache does the same for just that item).
+type BatchRequest struct {
+	Items     []Request `json:"items"`
+	TimeoutMs int64     `json:"timeout_ms,omitempty"`
+	NoCache   bool      `json:"no_cache,omitempty"`
+}
+
+// BatchItemReport is one item's outcome, at the same index as its request.
+// Status is the HTTP status the item would have received on /v1/verify
+// (200 with Result, or 400/429/500/504 with Error). One bad item never
+// fails the batch: the batch-level status is 200 whenever the batch itself
+// was well-formed and enqueueable.
+type BatchItemReport struct {
+	Status int `json:"status"`
+	// Cache: hit (served from the result store) | miss (computed by this
+	// batch) | dedup (identical to an earlier item in this batch; served
+	// from its computation).
+	Cache  string          `json:"cache,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// BatchReport is the POST /v1/verify/batch response. Items align
+// one-to-one, in order, with the request's items.
+type BatchReport struct {
+	Items []BatchItemReport `json:"items"`
+	// Unique counts distinct canonical keys among the valid items;
+	// Deduplicated counts items answered by another item's computation;
+	// CacheHits counts items served from the result store; JobsRun counts
+	// fresh computations this batch scheduled.
+	Unique       int `json:"unique"`
+	Deduplicated int `json:"deduplicated"`
+	CacheHits    int `json:"cache_hits"`
+	JobsRun      int `json:"jobs_run"`
 }
 
 // SimReport is the simulation response and the `nbsim -json` output schema

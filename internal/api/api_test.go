@@ -1,0 +1,51 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSeedZeroRoundTrip is the regression for the seed-0 hole: an explicit
+// {"seed": 0} must survive a JSON round-trip as zero, stay distinct from
+// an absent seed, and produce its own cache key.
+func TestSeedZeroRoundTrip(t *testing.T) {
+	var q Request
+	if err := json.Unmarshal([]byte(`{"seed":0}`), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Seed == nil || *q.Seed != 0 {
+		t.Fatalf("seed 0 decoded as %v", q.Seed)
+	}
+	if q.SeedValue() != 0 {
+		t.Fatalf("SeedValue() = %d, want 0", q.SeedValue())
+	}
+	out, err := json.Marshal(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"seed":0`) {
+		t.Fatalf("seed 0 dropped on marshal: %s", out)
+	}
+
+	var absent Request
+	if err := json.Unmarshal([]byte(`{}`), &absent); err != nil {
+		t.Fatal(err)
+	}
+	if absent.Seed != nil {
+		t.Fatalf("absent seed decoded as %v", *absent.Seed)
+	}
+	if absent.SeedValue() != 1 {
+		t.Fatalf("absent SeedValue() = %d, want the default 1", absent.SeedValue())
+	}
+	if absent.CacheKey("verify") == q.CacheKey("verify") {
+		t.Fatal("seed 0 and absent seed share a cache key")
+	}
+
+	// Canonicality across the pointer change: absent and explicit seed 1
+	// remain one cache entry.
+	one := Request{Seed: SeedPtr(1)}
+	if absent.CacheKey("verify") != one.CacheKey("verify") {
+		t.Fatal("absent seed and explicit seed 1 diverged")
+	}
+}

@@ -1,0 +1,314 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/store"
+)
+
+func postBatch(t *testing.T, url string, b *api.BatchRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/verify/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestBatchMixed50 is the acceptance scenario: 50 mixed verify points —
+// 8 unique keys heavily duplicated plus one invalid item — in one call.
+// Per-item results come back in order, the invalid item fails alone, and
+// duplicates are served from one computation each (proven by jobs_run).
+// A second identical batch is answered entirely from the result store.
+func TestBatchMixed50(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 64})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const total = 50
+	const badIdx = 25
+	batch := &api.BatchRequest{}
+	for i := 0; i < total; i++ {
+		q := api.Request{N: 2, M: 4, R: 3 + i%8, Routing: "paper"}
+		if i == badIdx {
+			q.Trials = -1 // per-item validation failure
+		}
+		batch.Items = append(batch.Items, q)
+	}
+
+	resp, body := postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, body)
+	}
+	var rep api.BatchReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Items) != total {
+		t.Fatalf("%d items back, want %d", len(rep.Items), total)
+	}
+
+	// Order: every valid item's result matches its own request (hosts =
+	// n·r of the item at that index).
+	seenMiss := map[int]bool{}
+	for i, item := range rep.Items {
+		if i == badIdx {
+			if item.Status != http.StatusBadRequest || item.Error == "" || item.Result != nil {
+				t.Fatalf("invalid item: %+v", item)
+			}
+			continue
+		}
+		if item.Status != http.StatusOK || item.Error != "" {
+			t.Fatalf("item %d: %+v", i, item)
+		}
+		var vr api.VerifyReport
+		if err := json.Unmarshal(item.Result, &vr); err != nil {
+			t.Fatalf("item %d result: %v", i, err)
+		}
+		wantHosts := 2 * (3 + i%8)
+		if vr.Hosts != wantHosts {
+			t.Fatalf("item %d answered out of order: hosts %d, want %d", i, vr.Hosts, wantHosts)
+		}
+		if vr.Verdict != "nonblocking" {
+			t.Fatalf("item %d verdict %q", i, vr.Verdict)
+		}
+		r := 3 + i%8
+		switch item.Cache {
+		case "miss":
+			if seenMiss[r] {
+				t.Fatalf("item %d: second miss for r=%d", i, r)
+			}
+			seenMiss[r] = true
+		case "dedup":
+			if !seenMiss[r] {
+				t.Fatalf("item %d: dedup before its miss", i)
+			}
+		default:
+			t.Fatalf("item %d cache %q", i, item.Cache)
+		}
+	}
+	if rep.Unique != 8 || rep.JobsRun != 8 {
+		t.Fatalf("unique %d, jobs_run %d, want 8/8", rep.Unique, rep.JobsRun)
+	}
+	if rep.Deduplicated != total-1-8 {
+		t.Fatalf("deduplicated %d, want %d", rep.Deduplicated, total-1-8)
+	}
+	m := getMetrics(t, ts.URL)
+	if m.JobsRun != 8 {
+		t.Fatalf("server ran %d jobs for 8 unique keys", m.JobsRun)
+	}
+	if m.Batches != 1 || m.BatchItems != total {
+		t.Fatalf("batch counters: %d batches, %d items", m.Batches, m.BatchItems)
+	}
+
+	// Second identical batch: every valid item is a store hit, zero jobs.
+	resp, body = postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat batch: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsRun != 0 || rep.CacheHits != total-1 {
+		t.Fatalf("repeat batch: jobs_run %d, cache_hits %d, want 0/%d", rep.JobsRun, rep.CacheHits, total-1)
+	}
+	for i, item := range rep.Items {
+		if i == badIdx {
+			continue
+		}
+		if item.Cache != "hit" {
+			t.Fatalf("repeat item %d cache %q", i, item.Cache)
+		}
+	}
+	if after := getMetrics(t, ts.URL); after.JobsRun != 8 {
+		t.Fatalf("repeat batch ran jobs: %d", after.JobsRun)
+	}
+}
+
+// TestBatchPartialFailure: a bad item (unknown routing) and a
+// deadline-style failure never take down their neighbors.
+func TestBatchPartialFailure(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	batch := &api.BatchRequest{Items: []api.Request{
+		{N: 2, M: 4, R: 4, Routing: "paper"},
+		{N: 2, M: 4, R: 4, Routing: "warp-drive"},
+		{Topo: "torus"},
+		{N: 2, M: 4, R: 5, Routing: "paper"},
+	}}
+	resp, body := postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rep api.BatchReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	wantStatus := []int{200, 400, 400, 200}
+	for i, item := range rep.Items {
+		if item.Status != wantStatus[i] {
+			t.Fatalf("item %d: status %d (%s), want %d", i, item.Status, item.Error, wantStatus[i])
+		}
+	}
+}
+
+// TestBatchQueueCapacity429: a batch whose unique misses cannot fit the
+// job queue even when idle is rejected whole with 429 and Retry-After,
+// before any work is scheduled.
+func TestBatchQueueCapacity429(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	batch := &api.BatchRequest{}
+	for r := 3; r < 7; r++ { // 4 unique keys > queue depth 2
+		batch.Items = append(batch.Items, api.Request{N: 2, M: 4, R: r, Routing: "paper"})
+	}
+	resp, body := postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if m := getMetrics(t, ts.URL); m.JobsRun != 0 {
+		t.Fatalf("rejected batch ran %d jobs", m.JobsRun)
+	}
+
+	// The same points split into two small batches fit fine.
+	for i := 0; i < 2; i++ {
+		half := &api.BatchRequest{Items: batch.Items[i*2 : i*2+2]}
+		resp, body := postBatch(t, ts.URL, half)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("half %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestBatchMalformed pins batch-level 400s: empty batches, oversized
+// batches, bad JSON, unknown fields, and GET.
+func TestBatchMalformed(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, MaxBatchItems: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postBatch(t, ts.URL, &api.BatchRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d: %s", resp.StatusCode, body)
+	}
+
+	over := &api.BatchRequest{Items: make([]api.Request, 5)}
+	resp, body = postBatch(t, ts.URL, over)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d: %s", resp.StatusCode, body)
+	}
+
+	r, err := http.Post(ts.URL+"/v1/verify/batch", "application/json", bytes.NewReader([]byte(`{"items":[`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", r.StatusCode)
+	}
+
+	r, err = http.Post(ts.URL+"/v1/verify/batch", "application/json", bytes.NewReader([]byte(`{"points":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", r.StatusCode)
+	}
+
+	r, err = http.Get(ts.URL + "/v1/verify/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d", r.StatusCode)
+	}
+}
+
+// TestFileStoreRestartHit is the persistence acceptance: a server backed
+// by the file store is restarted (new Server, new store on the same
+// path), and a previously computed sweep is served as a cache hit without
+// re-running — X-Nbserve-Cache says hit and no job runs.
+func TestFileStoreRestartHit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	open := func() (*Server, *httptest.Server) {
+		st, err := store.NewFile(path, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(Config{Workers: 2, QueueDepth: 8, Store: st})
+		return s, httptest.NewServer(s.Handler())
+	}
+
+	// A real exhaustive sweep, so a silent re-run would be measurable.
+	q := &api.Request{N: 2, M: 12, R: 3, Routing: "adaptive", Mode: "exhaustive"}
+
+	s1, ts1 := open()
+	resp, first := postJSON(t, ts1.URL+"/v1/verify", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d: %s", resp.StatusCode, first)
+	}
+	if got := resp.Header.Get("X-Nbserve-Cache"); got != "miss" {
+		t.Fatalf("first run served from %q", got)
+	}
+	ts1.Close()
+	s1.Close() // flushes the store log
+
+	s2, ts2 := open()
+	defer s2.Close()
+	defer ts2.Close()
+	resp, body := postJSON(t, ts2.URL+"/v1/verify", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after restart: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Nbserve-Cache"); got != "hit" {
+		t.Fatalf("restarted server served from %q, want hit", got)
+	}
+	if !bytes.Equal(body, first) {
+		t.Fatalf("restarted body differs:\n%s\n%s", body, first)
+	}
+	if m := getMetrics(t, ts2.URL); m.JobsRun != 0 {
+		t.Fatalf("restarted server re-ran the sweep (%d jobs)", m.JobsRun)
+	}
+
+	// Batch items hit the same persistent entry.
+	resp, bb := postBatch(t, ts2.URL, &api.BatchRequest{Items: []api.Request{*q, *q}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch after restart: status %d: %s", resp.StatusCode, bb)
+	}
+	var rep api.BatchReport
+	if err := json.Unmarshal(bb, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHits != 2 || rep.JobsRun != 0 {
+		t.Fatalf("batch after restart: %+v", rep)
+	}
+}

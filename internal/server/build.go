@@ -24,9 +24,11 @@ func badRequest(format string, args ...any) error {
 	return errBadRequest{fmt.Errorf(format, args...)}
 }
 
-// normalize fills CLI-equivalent defaults in place. It runs before cache
-// keying, so a request spelling out the defaults and one omitting them
-// share a cache entry.
+// normalize fills CLI-equivalent defaults in place. It runs before
+// validation and cache keying, so a request spelling out the defaults and
+// one omitting them share a cache entry. It only fills absent values —
+// range enforcement is Job.Validate's (validateCommon's) responsibility,
+// and Seed distinguishes absent (nil → 1) from an explicit zero.
 func normalize(q *api.Request) {
 	if q.Topo == "" {
 		q.Topo = "ftree"
@@ -59,8 +61,8 @@ func normalize(q *api.Request) {
 	if q.Trials == 0 {
 		q.Trials = 500
 	}
-	if q.Seed == 0 {
-		q.Seed = 1
+	if q.Seed == nil {
+		q.Seed = api.SeedPtr(1)
 	}
 	if q.MaxExhaustive == 0 {
 		q.MaxExhaustive = 9
@@ -119,7 +121,7 @@ func buildTarget(q *api.Request) (*target, error) {
 		case "dest-switch-mod":
 			t.router = routing.NewDestSwitchMod(f)
 		case "random-fixed":
-			t.router = routing.NewRandomFixed(f, q.Seed)
+			t.router = routing.NewRandomFixed(f, q.SeedValue())
 		case "adaptive":
 			ad, err := routing.NewNonblockingAdaptive(f)
 			if err != nil {
@@ -154,7 +156,7 @@ func buildTarget(q *api.Request) (*target, error) {
 		case "mnt-dest-mod":
 			t.router = routing.NewMNTDestMod(mt)
 		case "mnt-random":
-			t.router = routing.NewMNTRandomFixed(mt, q.Seed)
+			t.router = routing.NewMNTRandomFixed(mt, q.SeedValue())
 		default:
 			return nil, badRequest("routing %q not available on mnt", q.Routing)
 		}
@@ -222,7 +224,7 @@ func runVerify(ctx context.Context, q *api.Request) (any, error) {
 		res, err = analysis.SweepExhaustiveParallelCtx(ctx, t.router, t.hosts, q.Workers)
 	case "random":
 		rep.Method = "random"
-		res, err = analysis.SweepRandomCtx(ctx, t.router, t.hosts, q.Trials, q.Seed)
+		res, err = analysis.SweepRandomCtx(ctx, t.router, t.hosts, q.Trials, q.SeedValue())
 	default:
 		return nil, badRequest("unknown verify mode %q", q.Mode)
 	}
@@ -251,7 +253,7 @@ func runWorstCase(ctx context.Context, q *api.Request) (any, error) {
 	}
 	s := &analysis.WorstCaseSearch{
 		Router: t.router, Hosts: t.hosts,
-		Restarts: q.Restarts, Steps: q.Steps, Seed: q.Seed,
+		Restarts: q.Restarts, Steps: q.Steps, Seed: q.SeedValue(),
 	}
 	res, err := s.RunCtx(ctx)
 	if err != nil {
@@ -277,7 +279,7 @@ func runSim(ctx context.Context, q *api.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := sim.Config{PacketFlits: q.Flits, PacketsPerPair: q.Pkts, Seed: q.Seed}
+	cfg := sim.Config{PacketFlits: q.Flits, PacketsPerPair: q.Pkts, Seed: q.SeedValue()}
 	switch q.Arbiter {
 	case "round-robin":
 		cfg.Arbiter = sim.RoundRobin
@@ -313,7 +315,7 @@ func runSim(ctx context.Context, q *api.Request) (any, error) {
 			PacketFlits:     q.Flits,
 			WarmupPackets:   20,
 			MeasuredPackets: 100,
-			Seed:            q.Seed,
+			Seed:            q.SeedValue(),
 			Arbiter:         cfg.Arbiter,
 			Collector:       sim.NewMetricsCollector(),
 		}
@@ -327,7 +329,7 @@ func runSim(ctx context.Context, q *api.Request) (any, error) {
 	}
 
 	if q.Pattern == "random" {
-		sum, err := sim.CompareToCrossbarParallel(t.net, t.router, t.hosts, q.Trials, q.Workers, q.Seed, cfg)
+		sum, err := sim.CompareToCrossbarParallel(t.net, t.router, t.hosts, q.Trials, q.Workers, q.SeedValue(), cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+
+	"repro/internal/api"
+)
+
+// Job is one engine behind the HTTP surface. The three endpoints (verify,
+// worstcase, sim) are instances of this interface, and everything above it
+// — the handler pipeline, the result store, the batch endpoint — is
+// engine-agnostic: decode → normalize → Validate → Key → store lookup →
+// Run on the worker pool → Encode → store fill. Adding an engine is one
+// registry entry, and a validation rule added here holds on every path
+// that can reach a worker (single requests and batch items alike).
+type Job interface {
+	// Op names the job: its /v1/<op> route and its metrics key.
+	Op() string
+	// Validate rejects out-of-range or dangerous parameters with an
+	// errBadRequest before the request can occupy a worker. It runs on
+	// normalized requests.
+	Validate(q *api.Request) error
+	// Key is the canonical result-store key for a normalized request.
+	// Equal keys compute byte-identical responses.
+	Key(q *api.Request) string
+	// Run executes the engine under ctx (deadline + client disconnect).
+	Run(ctx context.Context, q *api.Request) (any, error)
+	// Encode marshals Run's report into the response body bytes.
+	Encode(v any) ([]byte, error)
+}
+
+// jobDef is the shared Job implementation: a name plus validate/run hooks.
+// Key and Encode are uniform across engines (canonicalized request key,
+// JSON body).
+type jobDef struct {
+	op       string
+	validate func(q *api.Request) error
+	run      func(ctx context.Context, q *api.Request) (any, error)
+}
+
+func (j *jobDef) Op() string { return j.op }
+
+func (j *jobDef) Validate(q *api.Request) error {
+	if err := validateCommon(q); err != nil {
+		return err
+	}
+	return j.validate(q)
+}
+
+func (j *jobDef) Key(q *api.Request) string { return q.CacheKey(j.op) }
+
+func (j *jobDef) Run(ctx context.Context, q *api.Request) (any, error) {
+	return j.run(ctx, q)
+}
+
+func (j *jobDef) Encode(v any) ([]byte, error) { return json.Marshal(v) }
+
+// The job registry. Handler() derives the /v1/* routes from it, and the
+// batch endpoint reuses verifyJob for its items.
+var (
+	verifyJob    Job = &jobDef{op: "verify", validate: validateVerify, run: runVerify}
+	worstcaseJob Job = &jobDef{op: "worstcase", validate: validateWorstCase, run: runWorstCase}
+	simJob       Job = &jobDef{op: "sim", validate: validateSim, run: runSim}
+
+	jobs = []Job{verifyJob, worstcaseJob, simJob}
+)
+
+// Service-wide size caps. A request may not build a topology bigger than
+// this no matter what it asks for: topology construction happens on a
+// worker and cannot be cancelled by a deadline, so an absurd size would
+// monopolize (or OOM) the pool. The CLIs remain uncapped.
+const (
+	maxRequestHosts = 1 << 20 // hosts in the requested topology
+	maxRequestLinks = 1 << 22 // duplex links in the requested topology
+)
+
+// requestHosts computes the host count of the requested topology without
+// building it (ftree: n·r; mnt: ports for one level, 2·(ports/2)^levels
+// above). Saturates at maxRequestHosts+1 instead of overflowing.
+func requestHosts(q *api.Request) int {
+	if q.Topo == "mnt" {
+		if q.Levels == 1 {
+			return q.Ports
+		}
+		k, h := q.Ports/2, 2
+		for i := 0; i < q.Levels; i++ {
+			if h > maxRequestHosts || k > maxRequestHosts {
+				return maxRequestHosts + 1
+			}
+			h *= k
+		}
+		return h
+	}
+	if q.N > maxRequestHosts || q.R > maxRequestHosts {
+		return maxRequestHosts + 1
+	}
+	return q.N * q.R
+}
+
+// requestLinks estimates the duplex link count (ftree: r bottom switches
+// with n host links and m uplinks each; mnt: one up-link per host per
+// level). Saturates like requestHosts.
+func requestLinks(q *api.Request) int {
+	if q.Topo == "mnt" {
+		h := requestHosts(q)
+		if h > maxRequestHosts || q.Levels > 64 {
+			return maxRequestLinks + 1
+		}
+		return h * q.Levels
+	}
+	if q.R > maxRequestLinks || q.N+q.M > maxRequestLinks {
+		return maxRequestLinks + 1
+	}
+	if v := q.R * (q.N + q.M); v >= 0 && v <= maxRequestLinks {
+		return v
+	}
+	return maxRequestLinks + 1
+}
+
+// validateCommon enforces the execution-parameter ranges shared by every
+// job. normalize only fills zero values, so anything negative a client
+// sent is still here to be caught — this is the single enforcement point
+// that replaces per-endpoint patches.
+func validateCommon(q *api.Request) error {
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"n", q.N}, {"m", q.M}, {"r", q.R},
+		{"ports", q.Ports}, {"levels", q.Levels},
+		{"trials", q.Trials}, {"flits", q.Flits}, {"pkts", q.Pkts},
+		{"steps", q.Steps}, {"restarts", q.Restarts},
+		{"max_exhaustive", q.MaxExhaustive},
+	} {
+		if p.v < 1 {
+			return badRequest("%s must be >= 1 (have %d)", p.name, p.v)
+		}
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"workers", q.Workers}, {"spray_width", q.SprayWidth},
+	} {
+		if p.v < 0 {
+			return badRequest("%s must be >= 0 (have %d)", p.name, p.v)
+		}
+	}
+	if q.TimeoutMs < 0 {
+		return badRequest("timeout_ms must be >= 0 (have %d)", q.TimeoutMs)
+	}
+	if q.Topo == "mnt" && q.Ports%2 != 0 {
+		return badRequest("mnt ports must be even (have %d)", q.Ports)
+	}
+	if h := requestHosts(q); h > maxRequestHosts {
+		return badRequest("requested topology exceeds %d hosts; use the CLIs for offline runs at this size", maxRequestHosts)
+	}
+	if l := requestLinks(q); l > maxRequestLinks {
+		return badRequest("requested topology exceeds %d links; use the CLIs for offline runs at this size", maxRequestLinks)
+	}
+	return nil
+}
+
+// validateVerify refuses forced exhaustive sweeps whose factorial pattern
+// space exceeds the max_exhaustive cap — previously such a request (80
+// hosts → 80! patterns) started enumerating and only a deadline could kill
+// it. Raising max_exhaustive in the request is the explicit opt-in.
+func validateVerify(q *api.Request) error {
+	switch q.Mode {
+	case "auto", "exact", "exhaustive", "exhaustive-parallel", "random":
+	default:
+		return badRequest("unknown verify mode %q", q.Mode)
+	}
+	if q.Mode == "exhaustive" || q.Mode == "exhaustive-parallel" {
+		if h := requestHosts(q); h > q.MaxExhaustive {
+			return badRequest("forced %s sweep over %d hosts exceeds max_exhaustive=%d (%d! patterns); raise max_exhaustive explicitly or use mode random",
+				q.Mode, h, q.MaxExhaustive, h)
+		}
+	}
+	return nil
+}
+
+func validateWorstCase(q *api.Request) error { return nil }
+
+func validateSim(q *api.Request) error {
+	switch q.Arbiter {
+	case "round-robin", "oldest-first":
+	default:
+		return badRequest("unknown arbiter %q", q.Arbiter)
+	}
+	switch q.Pattern {
+	case "random", "shift", "rotate", "transpose":
+	default:
+		return badRequest("unknown pattern %q", q.Pattern)
+	}
+	if q.OpenLoop && q.Topo != "ftree" {
+		return badRequest("open_loop supports topo ftree only")
+	}
+	return nil
+}

@@ -19,6 +19,14 @@ type metrics struct {
 	jobsRejected atomic.Int64 // backpressure 429s
 	queueDepth   atomic.Int64 // jobs submitted but not yet finished
 
+	storeHits   atomic.Int64 // result-store lookups that served a body
+	storeMisses atomic.Int64 // lookups that fell through to a job
+	storePuts   atomic.Int64 // bodies written to the store
+
+	batches      atomic.Int64 // /v1/verify/batch calls accepted for decode
+	batchItems   atomic.Int64 // items across all batches
+	batchDeduped atomic.Int64 // items answered by another item's computation
+
 	mu         sync.Mutex
 	jobLatency sim.Histogram // microseconds per executed job
 }
@@ -58,6 +66,14 @@ type MetricsSnapshot struct {
 	JobsRejected int64                       `json:"jobs_rejected"`
 	QueueDepth   int64                       `json:"queue_depth"`
 	CacheEntries int                         `json:"cache_entries"`
+	// Result-store counters, backend-agnostic (memory or file).
+	StoreHits   int64 `json:"store_hits"`
+	StoreMisses int64 `json:"store_misses"`
+	StorePuts   int64 `json:"store_puts"`
+	// Batch-endpoint counters.
+	Batches      int64 `json:"batches"`
+	BatchItems   int64 `json:"batch_items"`
+	BatchDeduped int64 `json:"batch_deduped"`
 	// JobLatency is the per-job execution-time histogram in microseconds
 	// (sim.Histogram JSON: count, sum, and log-scale buckets).
 	JobLatency *sim.Histogram `json:"job_latency_us"`
@@ -70,6 +86,12 @@ func (m *metrics) snapshot(cacheEntries int) *MetricsSnapshot {
 		JobsRejected: m.jobsRejected.Load(),
 		QueueDepth:   m.queueDepth.Load(),
 		CacheEntries: cacheEntries,
+		StoreHits:    m.storeHits.Load(),
+		StoreMisses:  m.storeMisses.Load(),
+		StorePuts:    m.storePuts.Load(),
+		Batches:      m.batches.Load(),
+		BatchItems:   m.batchItems.Load(),
+		BatchDeduped: m.batchDeduped.Load(),
 	}
 	for op, em := range m.endpoints {
 		s.Endpoints[op] = EndpointSnapshot{

@@ -4,11 +4,17 @@
 // (responses are byte-compatible with `nbsim -json`; sweep results are
 // deterministic), bound resource usage under load (a fixed worker pool
 // with queue backpressure — overflow is an immediate 429, not an unbounded
-// goroutine pile), and make repeated design-space queries cheap (an LRU
-// cache over canonicalized requests serves repeats without re-running the
-// sweep). Long sweeps honor per-request deadlines and client disconnects
-// through the context plumbing in internal/analysis, and shutdown drains
-// in-flight jobs before the process exits.
+// goroutine pile; a validation layer rejects out-of-range and
+// factorially-explosive requests before they reach a worker), and make
+// repeated design-space queries cheap (a pluggable result store over
+// canonicalized requests — in-memory LRU or a persistent file-backed
+// backend that survives restarts — plus a batch endpoint that
+// deduplicates identical points within one call). Every engine sits
+// behind the uniform Job interface in jobs.go; the handler pipeline,
+// the store, and the batch fan-out are engine-agnostic. Long sweeps honor
+// per-request deadlines and client disconnects through the context
+// plumbing in internal/analysis, and shutdown drains in-flight jobs
+// before the process exits.
 package server
 
 import (
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/store"
 )
 
 // Config sizes the service. Zero values select the defaults.
@@ -29,8 +36,15 @@ type Config struct {
 	// QueueDepth bounds jobs accepted but not yet running; a full queue
 	// rejects with 429 (0 = 64).
 	QueueDepth int
-	// CacheEntries bounds the LRU result cache (0 = 256).
+	// CacheEntries bounds the default in-memory result store (0 = 256).
+	// Ignored when Store is set.
 	CacheEntries int
+	// Store is the result store backend. Nil selects an in-memory LRU of
+	// CacheEntries. The server takes ownership: Close closes it.
+	Store store.Store
+	// MaxBatchItems bounds the item count of one /v1/verify/batch call
+	// (0 = 256).
+	MaxBatchItems int
 	// DefaultTimeout applies when a request carries no timeout_ms;
 	// MaxTimeout caps client-supplied deadlines (0 = 30s / 5m).
 	DefaultTimeout, MaxTimeout time.Duration
@@ -46,6 +60,9 @@ func (c *Config) fill() {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
@@ -58,7 +75,7 @@ func (c *Config) fill() {
 // blocks handing back a result after the handler has given up.
 type job struct {
 	ctx  context.Context
-	run  func(ctx context.Context) (any, error)
+	run  func(ctx context.Context) ([]byte, error)
 	done chan jobResult
 }
 
@@ -67,29 +84,44 @@ type jobResult struct {
 	err  error
 }
 
-// Server is the nbserve core: worker pool, result cache, metrics, and the
+// Server is the nbserve core: worker pool, result store, metrics, and the
 // HTTP handler. Create with New, serve via Handler, stop with Close.
 type Server struct {
 	cfg   Config
 	queue chan *job
 	wg    sync.WaitGroup
-	cache *resultCache
+	store store.Store
 	met   *metrics
 
 	closeOnce sync.Once
 }
 
-// ops are the job-backed endpoints (metrics are keyed by these names).
-var ops = []string{"verify", "worstcase", "sim"}
+// batchOp is the metrics key for /v1/verify/batch (it is not a Job — it
+// fans items through verifyJob).
+const batchOp = "verify_batch"
+
+// opNames lists every metrics endpoint key: the registered jobs plus the
+// batch endpoint.
+func opNames() []string {
+	names := make([]string, 0, len(jobs)+1)
+	for _, jb := range jobs {
+		names = append(names, jb.Op())
+	}
+	return append(names, batchOp)
+}
 
 // New starts cfg.Workers executor goroutines and returns the server.
 func New(cfg Config) *Server {
 	cfg.fill()
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMemory(cfg.CacheEntries)
+	}
 	s := &Server{
 		cfg:   cfg,
 		queue: make(chan *job, cfg.QueueDepth),
-		cache: newResultCache(cfg.CacheEntries),
-		met:   newMetrics(ops),
+		store: st,
+		met:   newMetrics(opNames()),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -99,7 +131,8 @@ func New(cfg Config) *Server {
 }
 
 // Close stops accepting jobs, waits for queued and in-flight jobs to
-// finish, and joins all workers. Call after the HTTP server has been shut
+// finish, joins all workers, and closes the result store (flushing the
+// persistent backend's log). Call after the HTTP server has been shut
 // down (http.Server.Shutdown already waits out in-flight handlers, which
 // in turn wait on their jobs, so the queue is quiet by then; Close is the
 // backstop that makes the drain unconditional).
@@ -107,6 +140,7 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.queue)
 		s.wg.Wait()
+		s.store.Close()
 	})
 }
 
@@ -120,25 +154,48 @@ func (s *Server) worker() {
 			continue
 		}
 		start := time.Now()
-		out, err := j.run(j.ctx)
-		var res jobResult
-		if err != nil {
-			res.err = err
-		} else {
-			res.body, res.err = json.Marshal(out)
-		}
+		body, err := j.run(j.ctx)
 		s.met.observeJob(time.Since(start).Microseconds())
 		s.met.queueDepth.Add(-1)
-		j.done <- res
+		j.done <- jobResult{body: body, err: err}
 	}
 }
 
-// Handler returns the nbserve routing table.
+// enqueue submits a job without blocking; false means the queue is full
+// (the caller answers 429).
+func (s *Server) enqueue(j *job) bool {
+	s.met.queueDepth.Add(1)
+	select {
+	case s.queue <- j:
+		return true
+	default:
+		s.met.queueDepth.Add(-1)
+		s.met.jobsRejected.Add(1)
+		return false
+	}
+}
+
+// timeoutFor resolves a client-requested deadline against the configured
+// default and cap.
+func (s *Server) timeoutFor(ms int64) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout
+}
+
+// Handler returns the nbserve routing table, derived from the job
+// registry plus the batch and introspection endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/verify", s.jobHandler("verify", runVerify))
-	mux.HandleFunc("/v1/worstcase", s.jobHandler("worstcase", runWorstCase))
-	mux.HandleFunc("/v1/sim", s.jobHandler("sim", runSim))
+	for _, jb := range jobs {
+		mux.HandleFunc("/v1/"+jb.Op(), s.jobHandler(jb))
+	}
+	mux.HandleFunc("/v1/verify/batch", s.batchHandler(verifyJob))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
@@ -147,18 +204,35 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(s.met.snapshot(s.cache.len()))
+		enc.Encode(s.met.snapshot(s.store.Len()))
 	})
 	return mux
 }
 
+// errStatus maps a job error to its HTTP status and message. Shared by the
+// single-request handler (response status) and the batch handler
+// (per-item status).
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline exceeded: " + err.Error()
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is for logs only.
+		return http.StatusServiceUnavailable, "request cancelled"
+	case errors.As(err, &errBadRequest{}):
+		return http.StatusBadRequest, err.Error()
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
 // jobHandler wires one POST endpoint through the full pipeline:
-// decode → normalize → cache lookup → enqueue (429 on overflow) → wait
-// under the request deadline → cache fill → respond. The X-Nbserve-Cache
-// header says whether the body came from the cache ("hit") or a fresh job
-// ("miss").
-func (s *Server) jobHandler(op string, run func(ctx context.Context, q *api.Request) (any, error)) http.HandlerFunc {
-	em := s.met.endpoints[op]
+// decode → normalize → validate → store lookup → enqueue (429 on
+// overflow) → wait under the request deadline → store fill → respond. The
+// X-Nbserve-Cache header says whether the body came from the result store
+// ("hit") or a fresh job ("miss").
+func (s *Server) jobHandler(jb Job) http.HandlerFunc {
+	em := s.met.endpoints[jb.Op()]
 	return func(w http.ResponseWriter, r *http.Request) {
 		em.requests.Add(1)
 		if r.Method != http.MethodPost {
@@ -175,35 +249,34 @@ func (s *Server) jobHandler(op string, run func(ctx context.Context, q *api.Requ
 			return
 		}
 		normalize(&q)
+		if err := jb.Validate(&q); err != nil {
+			em.errors.Add(1)
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 
-		key := q.CacheKey(op)
+		key := jb.Key(&q)
 		if !q.NoCache {
-			if body, ok := s.cache.get(key); ok {
+			if body, ok := s.store.Get(key); ok {
 				em.cacheHits.Add(1)
+				s.met.storeHits.Add(1)
 				writeJSON(w, http.StatusOK, "hit", body)
 				return
 			}
+			s.met.storeMisses.Add(1)
 		}
 
-		timeout := s.cfg.DefaultTimeout
-		if q.TimeoutMs > 0 {
-			timeout = time.Duration(q.TimeoutMs) * time.Millisecond
-		}
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(q.TimeoutMs))
 		defer cancel()
 
-		j := &job{ctx: ctx, done: make(chan jobResult, 1), run: func(ctx context.Context) (any, error) {
-			return run(ctx, &q)
+		j := &job{ctx: ctx, done: make(chan jobResult, 1), run: func(ctx context.Context) ([]byte, error) {
+			out, err := jb.Run(ctx, &q)
+			if err != nil {
+				return nil, err
+			}
+			return jb.Encode(out)
 		}}
-		s.met.queueDepth.Add(1)
-		select {
-		case s.queue <- j:
-		default:
-			s.met.queueDepth.Add(-1)
-			s.met.jobsRejected.Add(1)
+		if !s.enqueue(j) {
 			em.errors.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "job queue full")
@@ -213,21 +286,13 @@ func (s *Server) jobHandler(op string, run func(ctx context.Context, q *api.Requ
 		res := <-j.done
 		if res.err != nil {
 			em.errors.Add(1)
-			switch {
-			case errors.Is(res.err, context.DeadlineExceeded):
-				writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+res.err.Error())
-			case errors.Is(res.err, context.Canceled):
-				// Client went away; the status is for logs only.
-				writeError(w, http.StatusServiceUnavailable, "request cancelled")
-			case errors.As(res.err, &errBadRequest{}):
-				writeError(w, http.StatusBadRequest, res.err.Error())
-			default:
-				writeError(w, http.StatusInternalServerError, res.err.Error())
-			}
+			status, msg := errStatus(res.err)
+			writeError(w, status, msg)
 			return
 		}
 		if !q.NoCache {
-			s.cache.put(key, res.body)
+			s.store.Put(key, res.body)
+			s.met.storePuts.Add(1)
 		}
 		writeJSON(w, http.StatusOK, "miss", res.body)
 	}

@@ -251,7 +251,7 @@ func TestQueueOverflow429(t *testing.T) {
 	slow := func(seed int64) *api.Request {
 		return &api.Request{
 			N: 2, M: 4, R: 8, Routing: "dest-mod",
-			Restarts: 1 << 30, Steps: 1 << 30, Seed: seed,
+			Restarts: 1 << 30, Steps: 1 << 30, Seed: api.SeedPtr(seed),
 			TimeoutMs: 3000,
 		}
 	}
@@ -329,7 +329,7 @@ func TestConcurrentLoad(t *testing.T) {
 				q = &api.Request{N: 2, M: 4, R: 2, Routing: "adaptive", Mode: "exhaustive"}
 			default: // random-trials sim, 4 distinct seeds
 				url = ts.URL + "/v1/sim"
-				q = &api.Request{N: 2, M: 4, R: 3, Routing: "paper", Trials: 2, Pkts: 1, Flits: 2, Seed: int64(1 + i%4)}
+				q = &api.Request{N: 2, M: 4, R: 3, Routing: "paper", Trials: 2, Pkts: 1, Flits: 2, Seed: api.SeedPtr(int64(1 + i%4))}
 			}
 			body, err := json.Marshal(q)
 			if err != nil {
@@ -441,7 +441,9 @@ func TestDeadlineExceeded(t *testing.T) {
 	defer ts.Close()
 
 	// 16 hosts exhaustive: ~2·10^13 patterns, impossible; 200ms budget.
-	q := &api.Request{N: 2, M: 4, R: 8, Routing: "paper", Mode: "exhaustive", TimeoutMs: 200}
+	// max_exhaustive is raised explicitly — the validation layer refuses
+	// forced exhaustive sweeps beyond the cap (TestValidation pins that).
+	q := &api.Request{N: 2, M: 4, R: 8, Routing: "paper", Mode: "exhaustive", MaxExhaustive: 16, TimeoutMs: 200}
 	start := time.Now()
 	resp, body := postJSON(t, ts.URL+"/v1/verify", q)
 	if resp.StatusCode != http.StatusGatewayTimeout {
@@ -456,48 +458,20 @@ func TestDeadlineExceeded(t *testing.T) {
 	}
 }
 
-// TestCacheLRUEviction exercises the cache directly: capacity bounds hold
-// and eviction is least-recently-used.
-func TestCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
-	c.put("a", []byte("1"))
-	c.put("b", []byte("2"))
-	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
-		t.Fatal("a missing")
-	}
-	c.put("c", []byte("3"))
-	if _, ok := c.get("b"); ok {
-		t.Fatal("b should have been evicted")
-	}
-	if v, ok := c.get("a"); !ok || string(v) != "1" {
-		t.Fatal("a lost")
-	}
-	if v, ok := c.get("c"); !ok || string(v) != "3" {
-		t.Fatal("c lost")
-	}
-	if c.len() != 2 {
-		t.Fatalf("len %d", c.len())
-	}
-	c.put("c", []byte("33"))
-	if v, _ := c.get("c"); string(v) != "33" {
-		t.Fatal("re-put did not refresh value")
-	}
-}
-
 // TestCacheKeyNormalization: a request spelling out the defaults and one
 // omitting them share a cache key; changing a result-determining field
 // changes it; execution controls do not.
 func TestCacheKeyNormalization(t *testing.T) {
 	a := &api.Request{}
 	b := &api.Request{Topo: "ftree", N: 4, M: 16, R: 20, Routing: "paper", Mode: "auto",
-		Trials: 500, Seed: 1, MaxExhaustive: 9, Restarts: 8, Steps: 400,
+		Trials: 500, Seed: api.SeedPtr(1), MaxExhaustive: 9, Restarts: 8, Steps: 400,
 		Pattern: "random", Flits: 4, Pkts: 8, Arbiter: "round-robin"}
 	normalize(a)
 	normalize(b)
 	if a.CacheKey("verify") != b.CacheKey("verify") {
 		t.Fatalf("default and explicit keys differ:\n%s\n%s", a.CacheKey("verify"), b.CacheKey("verify"))
 	}
-	c := &api.Request{Seed: 2}
+	c := &api.Request{Seed: api.SeedPtr(2)}
 	normalize(c)
 	if a.CacheKey("verify") == c.CacheKey("verify") {
 		t.Fatal("seed not in cache key")

@@ -1,0 +1,203 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// File is the embedded persistent backend: a Memory LRU mirrored to an
+// append-only log of JSON records, one per Put. On open the log is
+// replayed in order through the same LRU (later records override earlier
+// ones, the capacity bound evicts the oldest), then rewritten compacted,
+// so a restarted server starts with exactly the live entries of the old
+// one. Recency gained by Gets is not logged — across a restart the LRU
+// order degrades to insertion order, which is the usual persistence
+// trade-off for a cache and never changes any stored value.
+//
+// Torn tails are tolerated: a record that fails to parse (a crash mid-
+// append) ends the replay and is dropped by the next compaction. Log
+// write errors never fail a Put — the store degrades to memory-only and
+// reports the first error from Close.
+type File struct {
+	mu      sync.Mutex
+	mem     *Memory
+	f       *os.File
+	w       *bufio.Writer
+	path    string
+	records int   // records in the log, including stale overwrites
+	err     error // first append/compact failure, surfaced by Close
+}
+
+// record is one log line. Body round-trips through encoding/json's
+// base64, so arbitrary response bytes are newline-safe.
+type record struct {
+	K string `json:"k"`
+	V []byte `json:"v"`
+}
+
+// compactFactor bounds log growth: when the log holds more than
+// compactFactor times the live entry count (and more than compactMin
+// records), it is rewritten with only the live entries.
+const (
+	compactFactor = 4
+	compactMin    = 64
+)
+
+// NewFile opens (or creates) the log at path and replays it into an LRU
+// of at most max entries. The replayed state is compacted back to disk
+// immediately, so startup cost is proportional to the log, and the log
+// after open is proportional to the live entries.
+func NewFile(path string, max int) (*File, error) {
+	s := &File{mem: NewMemory(max), path: path}
+	if err := s.replay(); err != nil {
+		return nil, fmt.Errorf("store: replay %s: %w", path, err)
+	}
+	if err := s.compact(); err != nil {
+		return nil, fmt.Errorf("store: compact %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// replay loads every parseable record in order. A missing file is an
+// empty store; a malformed record ends the replay (torn tail).
+func (s *File) replay() error {
+	f, err := os.Open(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(nil, 16<<20)
+	for sc.Scan() {
+		var r record
+		if json.Unmarshal(sc.Bytes(), &r) != nil || r.K == "" {
+			break
+		}
+		s.mem.Put(r.K, r.V)
+	}
+	// Scanner errors (oversized line, I/O) are treated like a torn tail:
+	// keep what replayed cleanly.
+	return nil
+}
+
+// compact atomically rewrites the log with only the live entries, LRU
+// order preserved, and swaps the append handle to the new file.
+func (s *File) compact() error {
+	tmp, err := os.CreateTemp(dirOf(s.path), ".nbstore-*")
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(tmp)
+	entries := s.mem.Entries()
+	for _, e := range entries {
+		if err := writeRecord(w, e.Key, e.Body); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if s.f != nil {
+		s.f.Close()
+	}
+	s.f = tmp
+	s.w = bufio.NewWriter(s.f)
+	s.records = len(entries)
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+func writeRecord(w *bufio.Writer, key string, body []byte) error {
+	line, err := json.Marshal(record{K: key, V: body})
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(line); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// Get returns the stored body for key, refreshing its in-memory recency.
+func (s *File) Get(key string) ([]byte, bool) { return s.mem.Get(key) }
+
+// Put stores body under key and appends it to the log. Append failures
+// leave the in-memory store correct and are reported by Close.
+func (s *File) Put(key string, body []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem.Put(key, body)
+	if err := writeRecord(s.w, key, body); err != nil {
+		s.fail(err)
+		return
+	}
+	if err := s.w.Flush(); err != nil {
+		s.fail(err)
+		return
+	}
+	s.records++
+	if s.records > compactMin && s.records > compactFactor*s.mem.Len() {
+		if err := s.compact(); err != nil {
+			s.fail(err)
+		}
+	}
+}
+
+func (s *File) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Len reports the current live entry count.
+func (s *File) Len() int { return s.mem.Len() }
+
+// Close flushes and closes the log, returning the first deferred write
+// error if any occurred.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return s.err
+	}
+	if err := s.w.Flush(); err != nil {
+		s.fail(err)
+	}
+	if err := s.f.Sync(); err != nil {
+		s.fail(err)
+	}
+	if err := s.f.Close(); err != nil {
+		s.fail(err)
+	}
+	s.f = nil
+	return s.err
+}

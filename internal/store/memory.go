@@ -1,0 +1,90 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memory is a fixed-capacity LRU over encoded response bodies. A hit is a
+// single map lookup plus a list splice — no sweep, no re-encoding.
+// Eviction is strictly least-recently-used (Get refreshes recency).
+type Memory struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recent; values are *entry
+	items map[string]*list.Element
+}
+
+type entry struct {
+	key  string
+	body []byte
+}
+
+// Entry is one stored key/value pair, exported for log compaction and
+// tests.
+type Entry struct {
+	Key  string
+	Body []byte
+}
+
+// NewMemory returns an empty LRU holding at most max entries (minimum 1).
+func NewMemory(max int) *Memory {
+	if max < 1 {
+		max = 1
+	}
+	return &Memory{max: max, order: list.New(), items: make(map[string]*list.Element, max)}
+}
+
+// Get returns the cached body for key, refreshing its recency.
+func (c *Memory) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).body, true
+}
+
+// Put inserts body under key, evicting the least-recently-used entry when
+// over capacity. Re-inserting an existing key refreshes it.
+func (c *Memory) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry{key: key, body: body})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+}
+
+// Len reports the current entry count.
+func (c *Memory) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Close is a no-op; Memory holds no external resources.
+func (c *Memory) Close() error { return nil }
+
+// Entries returns the current contents, least-recently-used first, so a
+// replay of Put calls in this order reconstructs the same LRU state. Used
+// by the File backend's log compaction.
+func (c *Memory) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		out = append(out, Entry{Key: e.key, Body: e.body})
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Package store provides the nbserve result store: a small key/value
+// interface over encoded response bodies, keyed by the canonicalized
+// request (api.Request.CacheKey). Two backends implement it — Memory, a
+// fixed-capacity in-process LRU, and File, the same LRU mirrored to an
+// append-only log so completed results survive a restart. The server picks
+// one at startup (`nbserve -store memory|file`); everything above the
+// interface is backend-agnostic, which is what lets the batch endpoint and
+// the single-request handlers share one caching policy.
+package store
+
+// Store is a pluggable result store. Implementations must be safe for
+// concurrent use. Values are immutable once inserted: callers hand over
+// the byte slice and must not mutate it afterwards, and must treat
+// returned slices as read-only (both backends return the stored slice
+// without copying).
+type Store interface {
+	// Get returns the stored body for key, refreshing its recency.
+	Get(key string) ([]byte, bool)
+	// Put inserts body under key, evicting the least-recently-used entry
+	// when over capacity. Re-inserting an existing key refreshes it.
+	Put(key string, body []byte)
+	// Len reports the current entry count.
+	Len() int
+	// Close releases backend resources (flushes the log for File; a no-op
+	// for Memory). The store must not be used after Close.
+	Close() error
+}
