@@ -105,7 +105,8 @@ func (q *Request) SeedValue() int64 {
 // within the batch (one computation, every item answered); the rest fan
 // out across the server's worker pool. TimeoutMs bounds the whole batch;
 // NoCache bypasses the result store for every item (an individual item's
-// no_cache does the same for just that item).
+// no_cache does the same for just that item — it is never served a store
+// hit, even when another item in the batch shares its canonical key).
 type BatchRequest struct {
 	Items     []Request `json:"items"`
 	TimeoutMs int64     `json:"timeout_ms,omitempty"`
@@ -131,10 +132,13 @@ type BatchItemReport struct {
 // one-to-one, in order, with the request's items.
 type BatchReport struct {
 	Items []BatchItemReport `json:"items"`
-	// Unique counts distinct canonical keys among the valid items;
-	// Deduplicated counts items answered by another item's computation;
-	// CacheHits counts items served from the result store; JobsRun counts
-	// fresh computations this batch scheduled.
+	// Unique counts the groups evaluated at most once: distinct canonical
+	// keys among the valid items, with no_cache items grouped apart from
+	// cacheable ones sharing their key. Deduplicated counts items answered
+	// by another item's evaluation in this batch (never items of a
+	// store-hit group); CacheHits counts items served from the result
+	// store. The two are disjoint. JobsRun counts fresh computations this
+	// batch scheduled.
 	Unique       int `json:"unique"`
 	Deduplicated int `json:"deduplicated"`
 	CacheHits    int `json:"cache_hits"`

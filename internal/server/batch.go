@@ -77,10 +77,19 @@ func (s *Server) batchHandler(jb Job) http.HandlerFunc {
 				continue
 			}
 			key := jb.Key(it)
-			g, ok := groups[key]
+			// no_cache items group separately from cacheable ones with the
+			// same canonical key: folding them into a cacheable group would
+			// silently serve them a store hit via the first item's flag.
+			// They still dedup against each other — one fresh computation,
+			// never stored, answers every no_cache duplicate.
+			gkey := key
+			if it.NoCache {
+				gkey = "!" + key
+			}
+			g, ok := groups[gkey]
 			if !ok {
 				g = &batchGroup{key: key, req: it}
-				groups[key] = g
+				groups[gkey] = g
 				order = append(order, g)
 			}
 			g.indices = append(g.indices, i)
@@ -156,19 +165,21 @@ func (s *Server) batchHandler(jb Job) http.HandlerFunc {
 
 		// Fan results back to every item position, in order. The first
 		// item of a group keeps the group's cache state; duplicates that
-		// were computed in this batch report "dedup".
+		// were computed in this batch report "dedup". Every item of a
+		// store-hit group counts as a cache hit and nothing else: those
+		// duplicates were answered by the store, not by another item's
+		// computation, so they do not also count as Deduplicated.
 		for _, g := range order {
 			for n, idx := range g.indices {
 				item := api.BatchItemReport{Status: g.status, Cache: g.cache, Error: g.errMsg, Result: g.body}
-				if n > 0 {
+				if g.cache == "hit" {
+					rep.CacheHits++
+				} else if n > 0 {
 					rep.Deduplicated++
 					s.met.batchDeduped.Add(1)
 					if item.Cache == "miss" {
 						item.Cache = "dedup"
 					}
-				}
-				if g.cache == "hit" {
-					rep.CacheHits++
 				}
 				rep.Items[idx] = item
 			}

@@ -129,6 +129,11 @@ func TestBatchMixed50(t *testing.T) {
 	if rep.JobsRun != 0 || rep.CacheHits != total-1 {
 		t.Fatalf("repeat batch: jobs_run %d, cache_hits %d, want 0/%d", rep.JobsRun, rep.CacheHits, total-1)
 	}
+	// Hit-group duplicates were answered by the store, not by another
+	// item's computation: they must not double-count as Deduplicated.
+	if rep.Deduplicated != 0 {
+		t.Fatalf("repeat batch: deduplicated %d, want 0", rep.Deduplicated)
+	}
 	for i, item := range rep.Items {
 		if i == badIdx {
 			continue
@@ -139,6 +144,53 @@ func TestBatchMixed50(t *testing.T) {
 	}
 	if after := getMetrics(t, ts.URL); after.JobsRun != 8 {
 		t.Fatalf("repeat batch ran jobs: %d", after.JobsRun)
+	}
+}
+
+// TestBatchNoCacheItem pins the per-item no_cache contract under dedup: an
+// item with no_cache:true is never served a store hit, even when another
+// item in the batch shares its canonical key. no_cache items group apart
+// from cacheable ones (recomputing once, deduplicating against each
+// other), and their fresh result is not written back to the store.
+func TestBatchNoCacheItem(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Prime the store with the point's result.
+	q := api.Request{N: 2, M: 4, R: 3, Routing: "paper"}
+	resp, body := postJSON(t, ts.URL+"/v1/verify", &q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime: status %d: %s", resp.StatusCode, body)
+	}
+
+	fresh := q
+	fresh.NoCache = true
+	batch := &api.BatchRequest{Items: []api.Request{q, fresh, fresh}}
+	resp, body = postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, body)
+	}
+	var rep api.BatchReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	wantCache := []string{"hit", "miss", "dedup"}
+	for i, item := range rep.Items {
+		if item.Status != http.StatusOK || item.Cache != wantCache[i] {
+			t.Fatalf("item %d: status %d cache %q, want 200 %q", i, item.Status, item.Cache, wantCache[i])
+		}
+	}
+	// Two groups (cacheable hit + no_cache recompute), one fresh job, and
+	// CacheHits/Deduplicated stay disjoint.
+	if rep.Unique != 2 || rep.JobsRun != 1 || rep.CacheHits != 1 || rep.Deduplicated != 1 {
+		t.Fatalf("report %+v, want unique 2, jobs_run 1, cache_hits 1, deduplicated 1", rep)
+	}
+	// Only the priming request wrote to the store; the no_cache group's
+	// result was not put back.
+	if m := getMetrics(t, ts.URL); m.StorePuts != 1 {
+		t.Fatalf("store_puts %d, want 1 (no_cache result must not be stored)", m.StorePuts)
 	}
 }
 

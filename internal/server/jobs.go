@@ -71,8 +71,9 @@ var (
 // worker and cannot be cancelled by a deadline, so an absurd size would
 // monopolize (or OOM) the pool. The CLIs remain uncapped.
 const (
-	maxRequestHosts = 1 << 20 // hosts in the requested topology
-	maxRequestLinks = 1 << 22 // duplex links in the requested topology
+	maxRequestHosts  = 1 << 20 // hosts in the requested topology
+	maxRequestLinks  = 1 << 22 // duplex links in the requested topology
+	maxRequestLevels = 64      // mnt levels; 2^64 hosts saturates any k >= 2
 )
 
 // requestHosts computes the host count of the requested topology without
@@ -83,7 +84,15 @@ func requestHosts(q *api.Request) int {
 		if q.Levels == 1 {
 			return q.Ports
 		}
+		if q.Levels > maxRequestLevels {
+			return maxRequestHosts + 1
+		}
 		k, h := q.Ports/2, 2
+		if k < 2 {
+			// ports=2 gives k=1: h never grows, so don't loop q.Levels
+			// times — an absurd levels value must cost O(1) here, not CPU.
+			return h
+		}
 		for i := 0; i < q.Levels; i++ {
 			if h > maxRequestHosts || k > maxRequestHosts {
 				return maxRequestHosts + 1
@@ -104,7 +113,7 @@ func requestHosts(q *api.Request) int {
 func requestLinks(q *api.Request) int {
 	if q.Topo == "mnt" {
 		h := requestHosts(q)
-		if h > maxRequestHosts || q.Levels > 64 {
+		if h > maxRequestHosts || q.Levels > maxRequestLevels {
 			return maxRequestLinks + 1
 		}
 		return h * q.Levels
@@ -152,6 +161,9 @@ func validateCommon(q *api.Request) error {
 	}
 	if q.Topo == "mnt" && q.Ports%2 != 0 {
 		return badRequest("mnt ports must be even (have %d)", q.Ports)
+	}
+	if q.Topo == "mnt" && q.Levels > maxRequestLevels {
+		return badRequest("levels must be <= %d (have %d)", maxRequestLevels, q.Levels)
 	}
 	if h := requestHosts(q); h > maxRequestHosts {
 		return badRequest("requested topology exceeds %d hosts; use the CLIs for offline runs at this size", maxRequestHosts)

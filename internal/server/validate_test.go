@@ -42,6 +42,16 @@ func TestValidation(t *testing.T) {
 		{"odd mnt ports", "/v1/verify", func(q *api.Request) {
 			*q = api.Request{Topo: "mnt", Ports: 5, Levels: 2, Routing: "mnt-dest-mod"}
 		}, "even"},
+		// The levels hole: ports=2 makes the per-level multiplier 1, so the
+		// host count never grows and requestHosts used to loop q.Levels
+		// times — this request would spin the handler for years. The table
+		// completing at all is the regression.
+		{"mnt levels spin", "/v1/verify", func(q *api.Request) {
+			*q = api.Request{Topo: "mnt", Ports: 2, Levels: 1 << 60, Routing: "mnt-dest-mod"}
+		}, "levels"},
+		{"mnt levels over cap", "/v1/verify", func(q *api.Request) {
+			*q = api.Request{Topo: "mnt", Ports: 8, Levels: 100, Routing: "mnt-dest-mod"}
+		}, "levels"},
 		{"oversized topology", "/v1/verify", func(q *api.Request) {
 			*q = api.Request{N: 2000, M: 4, R: 600, Routing: "dest-mod"}
 		}, "hosts"},

@@ -73,17 +73,26 @@ func (s *File) replay() error {
 		return err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(nil, 16<<20)
-	for sc.Scan() {
-		var r record
-		if json.Unmarshal(sc.Bytes(), &r) != nil || r.K == "" {
+	// ReadBytes has no line-size cap (a Scanner limit would turn one large
+	// stored body into a mid-file error, silently dropping — and then
+	// compacting away — every valid record after it). A record missing its
+	// trailing newline (crash mid-append) still arrives with io.EOF and is
+	// parsed if complete.
+	br := bufio.NewReader(f)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			var r record
+			if json.Unmarshal(line, &r) != nil || r.K == "" {
+				break
+			}
+			s.mem.Put(r.K, r.V)
+		}
+		if err != nil {
 			break
 		}
-		s.mem.Put(r.K, r.V)
 	}
-	// Scanner errors (oversized line, I/O) are treated like a torn tail:
-	// keep what replayed cleanly.
+	// Read errors are treated like a torn tail: keep what replayed cleanly.
 	return nil
 }
 

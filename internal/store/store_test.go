@@ -180,6 +180,41 @@ func TestFileTornTail(t *testing.T) {
 	}
 }
 
+// TestFileLargeRecordReplay guards replay against any line-size cap: a
+// stored body bigger than a scanner-style fixed buffer (17MB here, ~23MB
+// as a base64 JSON line) must survive a restart, and — the worse failure —
+// must not end replay early and silently drop, then compact away, every
+// valid record written after it.
+func TestFileLargeRecordReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s, err := NewFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("x"), 17<<20)
+	s.Put("before", []byte("1"))
+	s.Put("big", big)
+	s.Put("after", []byte("2"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 3 {
+		t.Fatalf("len %d after restart, want 3", r.Len())
+	}
+	if v, ok := r.Get("big"); !ok || !bytes.Equal(v, big) {
+		t.Fatalf("large record lost (ok=%t, %d bytes)", ok, len(v))
+	}
+	if v, ok := r.Get("after"); !ok || string(v) != "2" {
+		t.Fatalf("record after the large one lost: %q, %t", v, ok)
+	}
+}
+
 // TestFileCompaction overwrites one key far past the compaction
 // threshold and checks the on-disk log stays proportional to the live
 // entries instead of the put count.
