@@ -11,7 +11,7 @@ RACE_PKGS ?= ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal
 FUZZTIME ?= 30s
 FUZZ_TARGETS := FuzzEdgeColorBipartite FuzzBenesLooping FuzzRouteTableParity
 
-.PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke batch-smoke report tables examples clean
+.PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke batch-smoke coordinator-smoke report tables examples clean
 
 all: build test
 
@@ -27,6 +27,14 @@ test:
 # CI runs this as its own step so a batch regression is named in the log.
 batch-smoke:
 	$(GO) test ./internal/server/ -count=1 -run 'TestBatch|TestFileStoreRestartHit'
+
+# Coordinator smoke: the in-process distributed-parity tests (byte-identical
+# merge, worker kill, checkpoint resume, SSE), then real binaries on
+# loopback — two workers plus a coordinator — with an n=8 distributed sweep
+# driven by nbverify -remote and diffed against the single-node engine.
+coordinator-smoke:
+	$(GO) test ./internal/server/ -count=1 -run 'TestCoordinatedSweep|TestSweepSSE'
+	GO="$(GO)" ./scripts/coordinator_smoke.sh
 
 race:
 	$(GO) test -race $(RACE_PKGS)

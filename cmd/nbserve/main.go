@@ -10,6 +10,7 @@
 //
 //	nbserve -addr :8080 -workers 8 -queue 128
 //	nbserve -store file -store-path nbserve-results.log   # cache survives restarts
+//	nbserve -coordinator -workers-list host1:8080,host2:8080   # distributed sweeps
 //
 //	curl -s localhost:8080/v1/verify -d '{"n":4,"m":16,"r":20,"routing":"paper"}'
 //	curl -s localhost:8080/v1/verify/batch -d '{"items":[{"n":2,"r":4},{"n":2,"r":5}]}'
@@ -29,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,8 +50,34 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 		drain      = flag.Duration("drain", time.Minute, "shutdown drain window for in-flight jobs")
+
+		coordinator = flag.Bool("coordinator", false, "act as a distributed-sweep coordinator (requires -workers-list)")
+		workersList = flag.String("workers-list", "", "comma-separated worker nbserve addresses (host:port) for -coordinator")
+		shardTO     = flag.Duration("shard-timeout", 2*time.Minute, "per-shard dispatch deadline (with -coordinator)")
+		shardRetry  = flag.Int("shard-retries", 3, "re-dispatch attempts per failed shard (with -coordinator)")
+		shardConc   = flag.Int("shard-concurrency", 2, "in-flight shards per worker (with -coordinator)")
 	)
 	flag.Parse()
+
+	var coord *server.CoordinatorConfig
+	if *coordinator {
+		var workerAddrs []string
+		for _, w := range strings.Split(*workersList, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				workerAddrs = append(workerAddrs, w)
+			}
+		}
+		if len(workerAddrs) == 0 {
+			fmt.Fprintln(os.Stderr, "nbserve: -coordinator requires a non-empty -workers-list")
+			os.Exit(1)
+		}
+		coord = &server.CoordinatorConfig{
+			Workers:          workerAddrs,
+			ShardTimeout:     *shardTO,
+			ShardRetries:     *shardRetry,
+			ShardConcurrency: *shardConc,
+		}
+	}
 
 	var st store.Store
 	switch *storeKind {
@@ -76,6 +104,7 @@ func main() {
 		MaxBatchItems:  *batchMax,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Coordinator:    coord,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -86,6 +115,10 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "nbserve: listening on %s (%d workers, queue %d, %s store, %d entries)\n",
 		*addr, *workers, *queue, *storeKind, *cacheSize)
+	if coord != nil {
+		fmt.Fprintf(os.Stderr, "nbserve: coordinator for %d workers (%d shards each in flight)\n",
+			len(coord.Workers), coord.ShardConcurrency)
+	}
 
 	select {
 	case <-ctx.Done():

@@ -44,6 +44,7 @@ func main() {
 		firstB  = flag.Bool("first-blocked", false, "stop the exhaustive sweep at the first blocked pattern")
 		verbose = flag.Bool("v", false, "print per-link detail for violations")
 		pattern = flag.String("pattern", "", `check one explicit pattern, e.g. "0->4 2->5", instead of deciding nonblocking`)
+		remote  = flag.String("remote", "", "nbserve address (host:port): submit the sweep to a remote node and stream its progress")
 	)
 	flag.Parse()
 
@@ -51,6 +52,14 @@ func main() {
 	// process mid-output; a cancelled run exits nonzero with context.Canceled.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *remote != "" {
+		if err := runRemote(ctx, os.Stdout, *remote, *n, *m, *r, *scheme, *maxExh); err != nil {
+			fmt.Fprintln(os.Stderr, "nbverify:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := runCtx(ctx, os.Stdout, *n, *m, *r, *scheme, *trials, *seed, *maxExh, *firstB, *verbose, *pattern); err != nil {
 		fmt.Fprintln(os.Stderr, "nbverify:", err)

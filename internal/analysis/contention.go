@@ -236,7 +236,7 @@ func (s *SweepResult) Nonblocking() bool { return s.Blocked == 0 && s.RouteErr =
 // table build fails — fall back to SweepExhaustiveOracle, so results
 // (including routing-error reporting) are identical either way.
 func SweepExhaustive(r routing.Router, hosts int) *SweepResult {
-	res, _ := sweepExhaustiveDelta(context.Background(), r, hosts, false)
+	res, _ := sweepExhaustiveDelta(context.Background(), r, hosts, false, nil)
 	return res
 }
 
@@ -246,7 +246,7 @@ func SweepExhaustive(r routing.Router, hosts int) *SweepResult {
 // together with ctx.Err(). A run that completes under a never-cancelled
 // context returns a result identical to SweepExhaustive's and a nil error.
 func SweepExhaustiveCtx(ctx context.Context, r routing.Router, hosts int) (*SweepResult, error) {
-	return sweepExhaustiveDelta(ctx, r, hosts, false)
+	return sweepExhaustiveDelta(ctx, r, hosts, false, nil)
 }
 
 // SweepExhaustiveFirstBlocked is SweepExhaustive in early-exit mode for
@@ -256,14 +256,14 @@ func SweepExhaustiveCtx(ctx context.Context, r routing.Router, hosts int) (*Swee
 // MaxLinkLoad covers only the examined prefix. A fully nonblocking router
 // yields a result identical to SweepExhaustive's.
 func SweepExhaustiveFirstBlocked(r routing.Router, hosts int) *SweepResult {
-	res, _ := sweepExhaustiveDelta(context.Background(), r, hosts, true)
+	res, _ := sweepExhaustiveDelta(context.Background(), r, hosts, true, nil)
 	return res
 }
 
 // SweepExhaustiveFirstBlockedCtx is SweepExhaustiveFirstBlocked with
 // cooperative cancellation (see SweepExhaustiveCtx).
 func SweepExhaustiveFirstBlockedCtx(ctx context.Context, r routing.Router, hosts int) (*SweepResult, error) {
-	return sweepExhaustiveDelta(ctx, r, hosts, true)
+	return sweepExhaustiveDelta(ctx, r, hosts, true, nil)
 }
 
 // SweepExhaustiveOracle is the scratch-rebuild reference implementation of
@@ -271,23 +271,24 @@ func SweepExhaustiveFirstBlockedCtx(ctx context.Context, r routing.Router, hosts
 // state. It is the parity oracle the delta engine is property-tested
 // against, and the engine every pattern-dependent router uses.
 func SweepExhaustiveOracle(r routing.Router, hosts int) *SweepResult {
-	res, _ := sweepExhaustiveOracle(context.Background(), r, hosts, false)
+	res, _ := sweepExhaustiveOracle(context.Background(), r, hosts, false, nil)
 	return res
 }
 
 // SweepExhaustiveOracleCtx is SweepExhaustiveOracle with cooperative
 // cancellation (see SweepExhaustiveCtx).
 func SweepExhaustiveOracleCtx(ctx context.Context, r routing.Router, hosts int) (*SweepResult, error) {
-	return sweepExhaustiveOracle(ctx, r, hosts, false)
+	return sweepExhaustiveOracle(ctx, r, hosts, false, nil)
 }
 
-func sweepExhaustiveOracle(ctx context.Context, r routing.Router, hosts int, firstOnly bool) (*SweepResult, error) {
+func sweepExhaustiveOracle(ctx context.Context, r routing.Router, hosts int, firstOnly bool, fn ProgressFunc) (*SweepResult, error) {
 	res := &SweepResult{}
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
 	c := NewChecker(nil)
 	cancel := newSweepCanceller(ctx)
+	prog := progressMeter{fn: fn}
 	cancelled := false
 	permutation.EnumerateFull(hosts, func(p *permutation.Permutation) bool {
 		if cancel.cancelled() {
@@ -311,15 +312,17 @@ func sweepExhaustiveOracle(ctx context.Context, r routing.Router, hosts int, fir
 				return false
 			}
 		}
+		prog.step(res.Tested, res.Blocked)
 		return true
 	})
+	prog.flush(res.Tested, res.Blocked)
 	if cancelled {
 		return res, ctx.Err()
 	}
 	return res, nil
 }
 
-func sweepExhaustiveDelta(ctx context.Context, r routing.Router, hosts int, firstOnly bool) (*SweepResult, error) {
+func sweepExhaustiveDelta(ctx context.Context, r routing.Router, hosts int, firstOnly bool, fn ProgressFunc) (*SweepResult, error) {
 	if err := ctx.Err(); err != nil {
 		return &SweepResult{}, err
 	}
@@ -330,11 +333,12 @@ func sweepExhaustiveDelta(ctx context.Context, r routing.Router, hosts int, firs
 		// exact sequential accounting either way — in the failure case
 		// including the canonical first routing error at the first pattern
 		// exercising the failing pair.
-		return sweepExhaustiveOracle(ctx, r, hosts, firstOnly)
+		return sweepExhaustiveOracle(ctx, r, hosts, firstOnly, fn)
 	}
 	res := &SweepResult{}
 	d := NewDeltaChecker(t)
 	cancel := newSweepCanceller(ctx)
+	prog := progressMeter{fn: fn}
 	cancelled := false
 	permutation.EnumerateFullSwaps(hosts, func(p *permutation.Permutation, i, j int) bool {
 		if cancel.cancelled() {
@@ -359,8 +363,10 @@ func sweepExhaustiveDelta(ctx context.Context, r routing.Router, hosts int, firs
 				return false
 			}
 		}
+		prog.step(res.Tested, res.Blocked)
 		return true
 	})
+	prog.flush(res.Tested, res.Blocked)
 	if cancelled {
 		return res, ctx.Err()
 	}

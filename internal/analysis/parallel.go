@@ -35,7 +35,7 @@ import (
 // Heap swap at a time. Pattern-dependent routers use the per-pattern
 // Checker path unchanged.
 func SweepExhaustiveParallel(r routing.Router, hosts, workers int) *SweepResult {
-	res, _ := sweepExhaustiveParallel(context.Background(), r, hosts, workers)
+	res, _ := sweepExhaustiveParallel(context.Background(), r, hosts, workers, nil)
 	return res
 }
 
@@ -48,12 +48,12 @@ func SweepExhaustiveParallel(r routing.Router, hosts, workers int) *SweepResult 
 // returned error is ctx.Err(). A run completing under a never-cancelled
 // context is identical to SweepExhaustiveParallel's.
 func SweepExhaustiveParallelCtx(ctx context.Context, r routing.Router, hosts, workers int) (*SweepResult, error) {
-	return sweepExhaustiveParallel(ctx, r, hosts, workers)
+	return sweepExhaustiveParallel(ctx, r, hosts, workers, nil)
 }
 
-func sweepExhaustiveParallel(ctx context.Context, r routing.Router, hosts, workers int) (*SweepResult, error) {
+func sweepExhaustiveParallel(ctx context.Context, r routing.Router, hosts, workers int, fn ProgressFunc) (*SweepResult, error) {
 	if hosts <= 1 {
-		return sweepExhaustiveDelta(ctx, r, hosts, false)
+		return sweepExhaustiveDelta(ctx, r, hosts, false, fn)
 	}
 	if err := ctx.Err(); err != nil {
 		return &SweepResult{}, err
@@ -62,15 +62,15 @@ func sweepExhaustiveParallel(ctx context.Context, r routing.Router, hosts, worke
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if table, err := routing.BuildRouteTable(r, hosts); err == nil {
-		return sweepParallelDelta(ctx, table, hosts, workers)
+		return sweepParallelDelta(ctx, table, hosts, workers, fn)
 	}
-	return sweepParallelOracle(ctx, r, hosts, workers)
+	return sweepParallelOracle(ctx, r, hosts, workers, fn)
 }
 
 // sweepParallelDelta fans the n delta-swept shards over the worker pool.
 // The table build already routed every pair successfully, so shards cannot
 // hit routing errors; the only abort source is ctx.
-func sweepParallelDelta(ctx context.Context, table *routing.RouteTable, hosts, workers int) (*SweepResult, error) {
+func sweepParallelDelta(ctx context.Context, table *routing.RouteTable, hosts, workers int, fn ProgressFunc) (*SweepResult, error) {
 	shards := make(chan int)
 	results := make([]SweepResult, hosts)
 	done := ctx.Done()
@@ -81,6 +81,8 @@ func sweepParallelDelta(ctx context.Context, table *routing.RouteTable, hosts, w
 			defer wg.Done()
 			d := NewDeltaChecker(table)
 			cancel := newSweepCanceller(ctx)
+			prog := progressMeter{fn: fn}
+			tested, blocked := 0, 0 // worker-cumulative, for progress deltas
 			cancelled := false
 			for shard := range shards {
 				if cancelled {
@@ -98,18 +100,22 @@ func sweepParallelDelta(ctx context.Context, table *routing.RouteTable, hosts, w
 						d.Swap(i, j)
 					}
 					sr.Tested++
+					tested++
 					if d.MaxLoad() > sr.MaxLinkLoad {
 						sr.MaxLinkLoad = d.MaxLoad()
 					}
 					if d.HasContention() {
 						sr.Blocked++
+						blocked++
 						if sr.FirstBlocked == nil {
 							sr.FirstBlocked = p.Clone()
 						}
 					}
+					prog.step(tested, blocked)
 					return true
 				})
 			}
+			prog.flush(tested, blocked)
 		}()
 	}
 feed:
@@ -128,7 +134,7 @@ feed:
 // sweepParallelOracle is the per-pattern Checker engine for routers whose
 // link sets cannot be cached (adaptive, global) or whose table build
 // failed.
-func sweepParallelOracle(ctx context.Context, r routing.Router, hosts, workers int) (*SweepResult, error) {
+func sweepParallelOracle(ctx context.Context, r routing.Router, hosts, workers int, fn ProgressFunc) (*SweepResult, error) {
 	shards := make(chan int)
 	results := make([]SweepResult, hosts)
 	done := ctx.Done()
@@ -141,6 +147,8 @@ func sweepParallelOracle(ctx context.Context, r routing.Router, hosts, workers i
 			defer wg.Done()
 			c := NewChecker(nil)
 			cancel := newSweepCanceller(ctx)
+			prog := progressMeter{fn: fn}
+			tested, blocked := 0, 0 // worker-cumulative, for progress deltas
 			cancelled := false
 			for shard := range shards {
 				if cancelled {
@@ -161,18 +169,22 @@ func sweepParallelOracle(ctx context.Context, r routing.Router, hosts, workers i
 						return false
 					}
 					sr.Tested++
+					tested++
 					if c.MaxLoad() > sr.MaxLinkLoad {
 						sr.MaxLinkLoad = c.MaxLoad()
 					}
 					if c.HasContention() {
 						sr.Blocked++
+						blocked++
 						if sr.FirstBlocked == nil {
 							sr.FirstBlocked = p.Clone()
 						}
 					}
+					prog.step(tested, blocked)
 					return true
 				})
 			}
+			prog.flush(tested, blocked)
 		}()
 	}
 feed:
@@ -197,7 +209,7 @@ feed:
 			// Discard them and re-derive the sequential-order first
 			// routing failure, which is deterministic because every
 			// router's outcome depends only on the pattern.
-			return sweepFirstRouteErr(r, hosts), nil
+			return SweepFirstRouteErr(r, hosts), nil
 		}
 	}
 	return mergeShardResults(results), nil
@@ -222,12 +234,15 @@ func mergeShardResults(results []SweepResult) *SweepResult {
 	return merged
 }
 
-// sweepFirstRouteErr scans the full enumeration in sequential order and
+// SweepFirstRouteErr scans the full enumeration in sequential order and
 // returns a SweepResult carrying only the canonical first routing error,
-// with all statistical fields zeroed. Called only after a parallel sweep
-// has already observed at least one routing failure, so the scan is
-// guaranteed to terminate at the first failing pattern.
-func sweepFirstRouteErr(r routing.Router, hosts int) *SweepResult {
+// with all statistical fields zeroed. Call it only after a sweep has
+// already observed at least one routing failure, so the scan is
+// guaranteed to terminate at the first failing pattern. Exported for the
+// distributed coordinator, which must re-derive the same canonical error
+// a single-process parallel sweep would report when any shard returns a
+// routing failure.
+func SweepFirstRouteErr(r routing.Router, hosts int) *SweepResult {
 	res := &SweepResult{}
 	c := NewChecker(nil)
 	permutation.EnumerateFull(hosts, func(p *permutation.Permutation) bool {

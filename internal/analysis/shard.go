@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/permutation"
+	"repro/internal/routing"
+)
+
+// Shard sweeps: the worker half of the distributed exhaustive sweep. A
+// coordinator plans a prefix partition (permutation.PrefixShards), posts
+// one shard per request to worker nbserve nodes, and merges the returned
+// SweepResults. Each shard sweep here uses the same engine selection and
+// per-pattern accounting as one shard of sweepParallelDelta /
+// sweepParallelOracle, so merging the per-shard results in lexicographic
+// prefix order reproduces the single-process parallel sweep exactly.
+
+// SweepShardCtx sweeps the single prefix shard of the n! enumeration
+// identified by prefix: every full permutation whose sources
+// 0..len(prefix)−1 send to prefix[0..len(prefix)−1]. Routers with
+// cacheable link sets run the delta engine over Heap-swap enumeration
+// (the order sweepParallelDelta uses); pattern-dependent routers fall
+// back to the per-pattern Checker over lexicographic enumeration. A
+// routing failure stops the shard and is reported in SweepResult.RouteErr
+// (not as the returned error) so a coordinator can distinguish "shard
+// finished, route error found" from transport failures; the coordinator
+// must then re-derive the canonical error via SweepFirstRouteErr. fn, if
+// non-nil, receives tested/blocked deltas on the cancellation-poll
+// stride. An empty prefix sweeps the full enumeration.
+func SweepShardCtx(ctx context.Context, r routing.Router, hosts int, prefix []int, fn ProgressFunc) (*SweepResult, error) {
+	return sweepShard(ctx, r, hosts, prefix, false, fn)
+}
+
+// SweepShardFirstBlockedCtx is SweepShardCtx stopping at the shard's
+// first blocked pattern (in the shard engine's enumeration order). The
+// coordinator uses it to re-derive a canonical FirstBlocked witness for
+// the lowest blocked top-level shard when the sweep was split deeper than
+// one prefix level — sub-shard witnesses cannot be merged into the
+// single-process answer, but a first-blocked scan of the whole top-level
+// shard in its native order can.
+func SweepShardFirstBlockedCtx(ctx context.Context, r routing.Router, hosts int, prefix []int, fn ProgressFunc) (*SweepResult, error) {
+	return sweepShard(ctx, r, hosts, prefix, true, fn)
+}
+
+func sweepShard(ctx context.Context, r routing.Router, hosts int, prefix []int, firstOnly bool, fn ProgressFunc) (*SweepResult, error) {
+	res := &SweepResult{}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if hosts <= 0 {
+		return res, nil
+	}
+	for _, d := range prefix {
+		if d < 0 || d >= hosts {
+			return res, fmt.Errorf("analysis: shard prefix %v out of range for %d hosts", prefix, hosts)
+		}
+	}
+	cancel := newSweepCanceller(ctx)
+	prog := progressMeter{fn: fn}
+	cancelled := false
+	if table, err := routing.BuildRouteTable(r, hosts); err == nil {
+		d := NewDeltaChecker(table)
+		permutation.EnumerateFullPrefixSeqSwaps(hosts, prefix, func(p *permutation.Permutation, i, j int) bool {
+			if cancel.cancelled() {
+				cancelled = true
+				return false
+			}
+			if i < 0 {
+				d.Reset(p)
+			} else {
+				d.Swap(i, j)
+			}
+			res.Tested++
+			if d.MaxLoad() > res.MaxLinkLoad {
+				res.MaxLinkLoad = d.MaxLoad()
+			}
+			if d.HasContention() {
+				res.Blocked++
+				if res.FirstBlocked == nil {
+					res.FirstBlocked = p.Clone()
+				}
+				if firstOnly {
+					return false
+				}
+			}
+			prog.step(res.Tested, res.Blocked)
+			return true
+		})
+	} else {
+		c := NewChecker(nil)
+		permutation.EnumerateFullPrefixSeq(hosts, prefix, func(p *permutation.Permutation) bool {
+			if cancel.cancelled() {
+				cancelled = true
+				return false
+			}
+			if err := c.AnalyzePattern(r, p); err != nil {
+				res.RouteErr = fmt.Errorf("analysis: pattern %s: %w", p, err)
+				return false
+			}
+			res.Tested++
+			if c.MaxLoad() > res.MaxLinkLoad {
+				res.MaxLinkLoad = c.MaxLoad()
+			}
+			if c.HasContention() {
+				res.Blocked++
+				if res.FirstBlocked == nil {
+					res.FirstBlocked = p.Clone()
+				}
+				if firstOnly {
+					return false
+				}
+			}
+			prog.step(res.Tested, res.Blocked)
+			return true
+		})
+	}
+	prog.flush(res.Tested, res.Blocked)
+	if cancelled {
+		return res, ctx.Err()
+	}
+	return res, nil
+}
+
+// MergeShardSweeps folds per-shard sweep results, given in lexicographic
+// prefix order, the same way the in-process parallel sweep merges its
+// level-1 shards: counts are exact sums, MaxLinkLoad is the max, and
+// FirstBlocked comes from the first (lowest-prefix) blocked shard in that
+// shard's own enumeration order. RouteErr is taken from the first shard
+// reporting one; callers must then discard the statistical fields and
+// re-derive the canonical error with SweepFirstRouteErr, exactly as
+// sweepParallelOracle does.
+func MergeShardSweeps(results []SweepResult) *SweepResult {
+	merged := mergeShardResults(results)
+	for i := range results {
+		if results[i].RouteErr != nil {
+			merged.RouteErr = results[i].RouteErr
+			break
+		}
+	}
+	return merged
+}

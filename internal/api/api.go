@@ -61,6 +61,13 @@ type Request struct {
 	Arbiter  string `json:"arbiter,omitempty"`
 	OpenLoop bool   `json:"open_loop,omitempty"`
 
+	// Shard selection (POST /v1/verify/shard): sweep only the full
+	// permutations whose sources 0..len(shard_prefix)−1 send to these
+	// destinations. Set by the distributed sweep coordinator when it fans
+	// one exhaustive sweep across worker nbserve nodes; empty everywhere
+	// else.
+	ShardPrefix []int `json:"shard_prefix,omitempty"`
+
 	// Execution controls. These do NOT participate in the result-cache key:
 	// they change how a job runs, not what it computes.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -82,6 +89,24 @@ func (q *Request) CacheKey(op string) string {
 	fmt.Fprintf(&b, "|mode=%s,trials=%d,seed=%d,maxexh=%d,fb=%t", q.Mode, q.Trials, q.SeedValue(), q.MaxExhaustive, q.FirstBlocked)
 	fmt.Fprintf(&b, "|restarts=%d,steps=%d", q.Restarts, q.Steps)
 	fmt.Fprintf(&b, "|pattern=%s,flits=%d,pkts=%d,arbiter=%s,open=%t", q.Pattern, q.Flits, q.Pkts, q.Arbiter, q.OpenLoop)
+	if len(q.ShardPrefix) > 0 {
+		// Appended only when set so every pre-existing key is unchanged.
+		fmt.Fprintf(&b, "|shard=%s", ShardID(q.ShardPrefix))
+	}
+	return b.String()
+}
+
+// ShardID renders a shard prefix as the canonical dotted string used in
+// cache keys, checkpoint keys, and progress events: "2.0.1" for prefix
+// [2 0 1]. Empty prefix renders as "" (the whole space).
+func ShardID(prefix []int) string {
+	var b strings.Builder
+	for i, d := range prefix {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
 	return b.String()
 }
 
@@ -209,6 +234,55 @@ type WorstCaseReport struct {
 	Evaluated      int    `json:"evaluated"`
 	// Permutation is the most-contended pattern found.
 	Permutation string `json:"permutation,omitempty"`
+}
+
+// ShardReport is the POST /v1/verify/shard response: the raw SweepResult
+// of one prefix shard, before any merging. FirstBlocked is the shard's
+// first blocked pattern in its engine's enumeration order ("0->3 1->2 ...",
+// empty when none); RouteErr carries a routing failure the shard hit
+// (shard-level data, not an HTTP error, so the coordinator can tell
+// "finished, found a route error" from transport failures).
+type ShardReport struct {
+	Network      string `json:"network"`
+	Hosts        int    `json:"hosts"`
+	Routing      string `json:"routing"`
+	Shard        string `json:"shard"` // dotted prefix, ShardID form
+	Tested       int    `json:"tested"`
+	Blocked      int    `json:"blocked"`
+	MaxLinkLoad  int    `json:"max_link_load"`
+	FirstBlocked string `json:"first_blocked,omitempty"`
+	RouteErr     string `json:"route_err,omitempty"`
+}
+
+// SweepAccepted is the immediate POST /v1/verify/sweep response: the
+// sweep runs as a tracked job, and the client follows its progress via
+// the returned URLs. Resumed counts shards restored from store
+// checkpoints rather than dispatched.
+type SweepAccepted struct {
+	JobID     string `json:"job_id"`
+	Shards    int    `json:"shards"`
+	Workers   int    `json:"workers"` // 0 = local in-process sweep
+	Resumed   int    `json:"resumed"`
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+}
+
+// SweepStatus is the GET /v1/jobs/{id} response and the payload of every
+// SSE `progress` event on GET /v1/jobs/{id}/events. Counters are
+// monotonically non-decreasing over a job's lifetime. State: running |
+// done | failed. Result holds the final VerifyReport (byte-identical to
+// the single-process engine's) once State is done; Error the failure
+// message once State is failed.
+type SweepStatus struct {
+	JobID       string          `json:"job_id"`
+	State       string          `json:"state"`
+	ShardsTotal int             `json:"shards_total"`
+	ShardsDone  int             `json:"shards_done"`
+	Resumed     int             `json:"resumed"`
+	Tested      int64           `json:"tested"`
+	Blocked     int64           `json:"blocked"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
 }
 
 // ErrorReport is the JSON body of every non-2xx nbserve response.

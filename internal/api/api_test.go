@@ -49,3 +49,32 @@ func TestSeedZeroRoundTrip(t *testing.T) {
 		t.Fatal("absent seed and explicit seed 1 diverged")
 	}
 }
+
+// TestShardKeying: the shard prefix renders canonically, participates in
+// the cache key only when set, and distinct shards get distinct keys.
+func TestShardKeying(t *testing.T) {
+	if got := ShardID([]int{2, 0, 11}); got != "2.0.11" {
+		t.Fatalf("ShardID = %q", got)
+	}
+	if got := ShardID(nil); got != "" {
+		t.Fatalf("ShardID(nil) = %q", got)
+	}
+	base := Request{N: 2, R: 4}
+	withNil := base
+	withNil.ShardPrefix = nil
+	if base.CacheKey("verify/shard") != withNil.CacheKey("verify/shard") {
+		t.Fatal("nil shard prefix changed the key")
+	}
+	a, b := base, base
+	a.ShardPrefix = []int{0}
+	b.ShardPrefix = []int{1}
+	if a.CacheKey("verify/shard") == base.CacheKey("verify/shard") {
+		t.Fatal("shard prefix absent from the key")
+	}
+	if a.CacheKey("verify/shard") == b.CacheKey("verify/shard") {
+		t.Fatal("distinct shards share a key")
+	}
+	if !strings.Contains(a.CacheKey("verify/shard"), "|shard=0") {
+		t.Fatalf("key missing shard segment: %s", a.CacheKey("verify/shard"))
+	}
+}

@@ -1,5 +1,15 @@
 package permutation
 
+// Prefix sharding: the n! full permutations partition into shards
+// identified by a fixed destination prefix — every permutation whose
+// sources 0..k−1 send to prefix[0..k−1]. A length-k prefix shard holds
+// (n−k)! patterns, and the n·(n−1)···(n−k+1) length-k shards are pairwise
+// disjoint and cover the full space. Level 1 (k = 1) is the sharding the
+// in-process parallel sweep uses; deeper levels exist so a distributed
+// coordinator can cut the space into more shards than it has worker slots,
+// keeping every worker busy and bounding the work lost when one shard must
+// be retried.
+
 // EnumerateFullPrefix calls yield with every full permutation of n
 // endpoints whose first source is fixed to send to dst0 — one shard of the
 // full enumeration, enabling parallel exhaustive sweeps: the n shards
@@ -14,10 +24,33 @@ func EnumerateFullPrefix(n, dst0 int, yield func(*Permutation) bool) bool {
 	if dst0 < 0 || dst0 >= n {
 		return true // empty shard
 	}
+	return EnumerateFullPrefixSeq(n, []int{dst0}, yield)
+}
+
+// EnumerateFullPrefixSeq generalizes EnumerateFullPrefix to an arbitrary
+// destination prefix: yield sees every full permutation whose sources
+// 0..len(prefix)−1 send to prefix[0..len(prefix)−1], in the same recursive
+// lexicographic order EnumerateFullPrefix uses over the remaining
+// positions. An out-of-range or repeated prefix destination denotes an
+// empty shard (yield is never called, and the enumeration reports
+// complete). The Permutation passed to yield is reused; clone to retain.
+func EnumerateFullPrefixSeq(n int, prefix []int, yield func(*Permutation) bool) bool {
+	if n <= 0 {
+		return true
+	}
+	k := len(prefix)
+	if k > n {
+		return true // empty shard
+	}
 	p := New(n)
-	p.dst[0] = dst0
 	used := make([]bool, n)
-	used[dst0] = true
+	for pos, d := range prefix {
+		if d < 0 || d >= n || used[d] {
+			return true // empty shard
+		}
+		used[d] = true
+		p.dst[pos] = d
+	}
 	var rec func(pos int) bool
 	rec = func(pos int) bool {
 		if pos == n {
@@ -39,7 +72,7 @@ func EnumerateFullPrefix(n, dst0 int, yield func(*Permutation) bool) bool {
 		}
 		return true
 	}
-	return rec(1)
+	return rec(k)
 }
 
 // EnumerateFullPrefixSwaps enumerates the same shard as
@@ -61,24 +94,49 @@ func EnumerateFullPrefixSwaps(n, dst0 int, yield func(p *Permutation, i, j int) 
 	if dst0 < 0 || dst0 >= n {
 		return true // empty shard
 	}
+	return EnumerateFullPrefixSeqSwaps(n, []int{dst0}, yield)
+}
+
+// EnumerateFullPrefixSeqSwaps generalizes EnumerateFullPrefixSwaps to an
+// arbitrary destination prefix: Heap's algorithm runs over the
+// n−len(prefix) unpinned positions, the first call presents the shard's
+// seed pattern (the prefix followed by the remaining destinations in
+// ascending order, matching EnumerateFullPrefixSeq's first pattern) with
+// i = j = -1, and each later call names the two swapped source positions
+// (both ≥ len(prefix)). An invalid prefix denotes an empty shard. With an
+// empty prefix the enumeration is exactly EnumerateFullSwaps.
+func EnumerateFullPrefixSeqSwaps(n int, prefix []int, yield func(p *Permutation, i, j int) bool) bool {
+	if n <= 0 {
+		return true
+	}
+	k := len(prefix)
+	if k > n {
+		return true // empty shard
+	}
 	p := New(n)
-	p.dst[0] = dst0
-	d := 0
-	for pos := 1; pos < n; pos++ {
-		if d == dst0 {
-			d++
+	used := make([]bool, n)
+	for pos, d := range prefix {
+		if d < 0 || d >= n || used[d] {
+			return true // empty shard
 		}
+		used[d] = true
 		p.dst[pos] = d
-		d++
+	}
+	pos := k
+	for d := 0; d < n; d++ {
+		if !used[d] {
+			p.dst[pos] = d
+			pos++
+		}
 	}
 	if !yield(p, -1, -1) {
 		return false
 	}
-	if n <= 2 {
-		return true // the shard holds (n−1)! ≤ 1 patterns
+	m := n - k
+	if m <= 1 {
+		return true // the shard holds (n−k)! ≤ 1 patterns
 	}
-	m := n - 1 // Heap's algorithm over positions 1..n-1
-	c := make([]int, m)
+	c := make([]int, m) // Heap's algorithm over positions k..n-1
 	i := 0
 	for i < m {
 		if c[i] < i {
@@ -86,8 +144,8 @@ func EnumerateFullPrefixSwaps(n, dst0 int, yield func(p *Permutation, i, j int) 
 			if i%2 == 1 {
 				a = c[i]
 			}
-			p.dst[a+1], p.dst[i+1] = p.dst[i+1], p.dst[a+1]
-			if !yield(p, a+1, i+1) {
+			p.dst[a+k], p.dst[i+k] = p.dst[i+k], p.dst[a+k]
+			if !yield(p, a+k, i+k) {
 				return false
 			}
 			c[i]++
@@ -98,4 +156,45 @@ func EnumerateFullPrefixSwaps(n, dst0 int, yield func(p *Permutation, i, j int) 
 		}
 	}
 	return true
+}
+
+// PrefixShards plans a prefix partition of the n! full permutations into
+// at least minShards shards when possible: it starts from the n level-1
+// shards and deepens the prefix one level at a time (n shards →
+// n·(n−1) → …) until the count reaches minShards or the prefixes pin all
+// but one position (beyond which deepening cannot split further). Shards
+// are returned in lexicographic prefix order — the order a coordinator
+// must merge them in to reproduce the sequential shard merge — and every
+// returned prefix has the same length.
+func PrefixShards(n, minShards int) [][]int {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	shards := make([][]int, 0, n)
+	for d := 0; d < n; d++ {
+		shards = append(shards, []int{d})
+	}
+	for len(shards) < minShards && len(shards[0]) < n-1 {
+		next := make([][]int, 0, len(shards)*(n-len(shards[0])))
+		for _, pfx := range shards {
+			used := make([]bool, n)
+			for _, d := range pfx {
+				used[d] = true
+			}
+			for d := 0; d < n; d++ {
+				if used[d] {
+					continue
+				}
+				child := make([]int, len(pfx)+1)
+				copy(child, pfx)
+				child[len(pfx)] = d
+				next = append(next, child)
+			}
+		}
+		shards = next
+	}
+	return shards
 }

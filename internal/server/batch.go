@@ -139,8 +139,12 @@ func (s *Server) batchHandler(jb Job) http.HandlerFunc {
 				}
 				return jb.Encode(out)
 			}}
-			if !s.enqueue(j) {
-				g.status, g.errMsg = http.StatusTooManyRequests, "job queue full"
+			if err := s.enqueue(j); err != nil {
+				if err == errQueueFull {
+					g.status, g.errMsg = http.StatusTooManyRequests, err.Error()
+				} else {
+					g.status, g.errMsg = http.StatusServiceUnavailable, err.Error()
+				}
 				continue
 			}
 			g.done = j.done
@@ -150,7 +154,17 @@ func (s *Server) batchHandler(jb Job) http.HandlerFunc {
 			if g.done == nil {
 				continue
 			}
-			res := <-g.done
+			// Wait for the group's result or the batch deadline, whichever
+			// comes first — a dead batch must not serialize behind queued
+			// work it will never use. Abandoned jobs are skipped by the
+			// worker (dead ctx) and their handback lands in the buffered
+			// done channel.
+			var res jobResult
+			select {
+			case res = <-g.done:
+			case <-ctx.Done():
+				res = jobResult{err: ctx.Err()}
+			}
 			g.done = nil
 			if res.err != nil {
 				g.status, g.errMsg = errStatus(res.err)

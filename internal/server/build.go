@@ -244,6 +244,35 @@ func runVerify(ctx context.Context, q *api.Request) (any, error) {
 	return rep, nil
 }
 
+// runShard answers POST /v1/verify/shard: one prefix shard of an
+// exhaustive sweep, the worker half of the distributed coordinator. The
+// raw per-shard SweepResult is returned unmerged; a routing failure is
+// shard data (RouteErr in the report), not an HTTP error, so the
+// coordinator can tell "shard finished and found a route error" apart
+// from transport failures it should retry.
+func runShard(ctx context.Context, q *api.Request) (any, error) {
+	t, err := buildTarget(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := analysis.SweepShardCtx(ctx, t.router, t.hosts, q.ShardPrefix, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep := &api.ShardReport{
+		Network: t.net.Name, Hosts: t.hosts, Routing: t.router.Name(),
+		Shard:  api.ShardID(q.ShardPrefix),
+		Tested: res.Tested, Blocked: res.Blocked, MaxLinkLoad: res.MaxLinkLoad,
+	}
+	if res.FirstBlocked != nil {
+		rep.FirstBlocked = res.FirstBlocked.String()
+	}
+	if res.RouteErr != nil {
+		rep.RouteErr = res.RouteErr.Error()
+	}
+	return rep, nil
+}
+
 // runWorstCase answers POST /v1/worstcase: the adversarial hill-climbing
 // search for maximally contended permutations.
 func runWorstCase(ctx context.Context, q *api.Request) (any, error) {

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/api"
+	"repro/internal/permutation"
+	"repro/internal/store"
+)
+
+// The distributed sweep coordinator. One exhaustive sweep is cut into
+// prefix shards (permutation.PrefixShards — deepened past one level when
+// the worker fleet has more slots than the n level-1 shards), each shard
+// is POSTed to a worker nbserve's /v1/verify/shard with a per-shard
+// timeout, failures are retried with exponential backoff on a different
+// worker when one is available, and the per-shard SweepResults merge — in
+// lexicographic prefix order — into exactly the result the in-process
+// SweepExhaustiveParallel computes. Completed shards checkpoint to the
+// result store under reserved keys, so a coordinator killed mid-sweep
+// resumes without redoing finished shards.
+
+// CoordinatorConfig configures distributed sweep dispatch. Zero values
+// select the defaults noted per field.
+type CoordinatorConfig struct {
+	// Workers lists worker nbserve base URLs (host:port or http://...).
+	// Empty means this node serves /v1/verify/sweep locally.
+	Workers []string
+	// ShardTimeout bounds one shard dispatch, connection to response
+	// (0 = 2m). Sent to the worker as the shard request's timeout_ms.
+	ShardTimeout time.Duration
+	// ShardRetries is how many times one shard may be re-dispatched after
+	// a retryable failure before the sweep fails (0 = 3).
+	ShardRetries int
+	// RetryBackoff is the first retry's delay; each further retry of the
+	// same shard doubles it (0 = 250ms). Capped at 10s.
+	RetryBackoff time.Duration
+	// ShardConcurrency is the number of in-flight shards per worker
+	// (0 = 2). len(Workers)·ShardConcurrency is the slot count the shard
+	// partition is deepened to reach.
+	ShardConcurrency int
+	// Client is the HTTP client for shard dispatch (nil = a client with
+	// no overall timeout; per-shard contexts bound each call).
+	Client *http.Client
+}
+
+func (c *CoordinatorConfig) fill() {
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 2 * time.Minute
+	}
+	if c.ShardRetries <= 0 {
+		c.ShardRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	if c.ShardConcurrency <= 0 {
+		c.ShardConcurrency = 2
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	for i, w := range c.Workers {
+		if !strings.Contains(w, "://") {
+			c.Workers[i] = "http://" + w
+		}
+	}
+}
+
+// shardTask tracks one shard's dispatch lifecycle.
+type shardTask struct {
+	idx      int
+	prefix   []int
+	attempts int
+	failedOn map[int]bool // worker indexes this shard already failed on
+}
+
+// shardEvent is one dispatch outcome, delivered to the coordinator loop.
+type shardEvent struct {
+	task   *shardTask
+	worker int
+	rep    *api.ShardReport
+	err    error // retryable failure (transport, 5xx, 429)
+	fatal  error // permanent failure (a worker 400: the sweep is misconfigured)
+}
+
+// runCoordinated fans plan.shards across the worker fleet and merges the
+// results. It returns the merged SweepResult in exactly the shape the
+// in-process parallel engine would have produced (including the
+// canonical re-derivations for witnesses under deep sharding and for
+// routing errors), leaving report assembly to the caller.
+func (s *Server) runCoordinated(ctx context.Context, sj *sweepJob, q *api.Request, plan *sweepPlan) (*analysis.SweepResult, error) {
+	cc := s.cfg.Coordinator
+	results := make([]*api.ShardReport, len(plan.shards))
+	var pending []*shardTask
+	for i, pfx := range plan.shards {
+		if rep, ok := plan.resumed[api.ShardID(pfx)]; ok {
+			results[i] = rep
+			continue
+		}
+		pending = append(pending, &shardTask{idx: i, prefix: pfx, failedOn: map[int]bool{}})
+	}
+
+	if len(pending) > 0 {
+		// Buffered for every outcome any schedule can produce, so a
+		// dispatch goroutine can always deliver and exit even if the loop
+		// has already failed the sweep.
+		events := make(chan shardEvent, len(pending)*(cc.ShardRetries+1))
+		requeue := make(chan *shardTask, len(pending)*(cc.ShardRetries+1))
+		inflight := make([]int, len(cc.Workers))
+		running := 0
+		completed := 0
+
+		dispatch := func(t *shardTask, w int) {
+			t.attempts++
+			inflight[w]++
+			running++
+			s.met.shardsDispatched.Add(1)
+			if t.attempts > 1 {
+				s.met.shardsRetried.Add(1)
+			}
+			go func() {
+				rep, err, fatal := s.dispatchShard(ctx, cc, q, t.prefix, cc.Workers[w])
+				events <- shardEvent{task: t, worker: w, rep: rep, err: err, fatal: fatal}
+			}()
+		}
+		// pickWorker prefers a free slot on a worker this shard has not
+		// failed on; when every candidate already failed it, any free slot
+		// will do (the failure may have been transient).
+		pickWorker := func(t *shardTask) int {
+			fallback := -1
+			for w := range cc.Workers {
+				if inflight[w] >= cc.ShardConcurrency {
+					continue
+				}
+				if !t.failedOn[w] {
+					return w
+				}
+				if fallback < 0 {
+					fallback = w
+				}
+			}
+			return fallback
+		}
+
+		total := len(pending)
+		for completed < total {
+			// Assign every ready shard that has a slot.
+			for len(pending) > 0 {
+				w := pickWorker(pending[0])
+				if w < 0 {
+					break
+				}
+				t := pending[0]
+				pending = pending[1:]
+				dispatch(t, w)
+			}
+			if running == 0 && len(pending) == 0 {
+				// Everything outstanding is waiting on a backoff timer.
+				select {
+				case t := <-requeue:
+					pending = append(pending, t)
+					continue
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			select {
+			case ev := <-events:
+				inflight[ev.worker]--
+				running--
+				switch {
+				case ev.fatal != nil:
+					return nil, ev.fatal
+				case ev.err != nil:
+					ev.task.failedOn[ev.worker] = true
+					if ev.task.attempts > cc.ShardRetries {
+						return nil, fmt.Errorf("shard %s failed after %d attempts: %w",
+							api.ShardID(ev.task.prefix), ev.task.attempts, ev.err)
+					}
+					backoff := cc.RetryBackoff << (ev.task.attempts - 1)
+					if backoff > 10*time.Second {
+						backoff = 10 * time.Second
+					}
+					t := ev.task
+					time.AfterFunc(backoff, func() { requeue <- t })
+				default:
+					results[ev.task.idx] = ev.rep
+					completed++
+					sj.shardsDone.Add(1)
+					sj.tested.Add(int64(ev.rep.Tested))
+					sj.blocked.Add(int64(ev.rep.Blocked))
+					if !q.NoCache {
+						if body, err := json.Marshal(ev.rep); err == nil {
+							s.store.Put(store.CheckpointKey(plan.key, ev.rep.Shard), body)
+						}
+					}
+				}
+			case t := <-requeue:
+				pending = append(pending, t)
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+
+	return s.mergeCoordinated(ctx, plan, results)
+}
+
+// dispatchShard POSTs one shard to one worker. err is retryable; fatal
+// means the worker rejected the request as invalid (400), which no retry
+// can fix.
+func (s *Server) dispatchShard(ctx context.Context, cc *CoordinatorConfig, q *api.Request, prefix []int, workerURL string) (rep *api.ShardReport, err, fatal error) {
+	sq := *q
+	sq.ShardPrefix = prefix
+	sq.Mode = "" // shard requests carry no engine mode
+	sq.NoCache = q.NoCache
+	sq.TimeoutMs = cc.ShardTimeout.Milliseconds()
+	body, merr := json.Marshal(&sq)
+	if merr != nil {
+		return nil, nil, merr
+	}
+	cctx, cancel := context.WithTimeout(ctx, cc.ShardTimeout)
+	defer cancel()
+	req, merr := http.NewRequestWithContext(cctx, http.MethodPost, workerURL+"/v1/verify/shard", bytes.NewReader(body))
+	if merr != nil {
+		return nil, nil, merr
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, herr := cc.Client.Do(req)
+	if herr != nil {
+		return nil, fmt.Errorf("worker %s: %w", workerURL, herr), nil
+	}
+	defer resp.Body.Close()
+	out, herr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if herr != nil {
+		return nil, fmt.Errorf("worker %s: read response: %w", workerURL, herr), nil
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusBadRequest:
+		var er api.ErrorReport
+		_ = json.Unmarshal(out, &er)
+		return nil, nil, badRequest("worker %s rejected shard: %s", workerURL, er.Error)
+	default:
+		return nil, fmt.Errorf("worker %s: status %d: %s", workerURL, resp.StatusCode, bytes.TrimSpace(out)), nil
+	}
+	var sr api.ShardReport
+	if uerr := json.Unmarshal(out, &sr); uerr != nil {
+		return nil, fmt.Errorf("worker %s: decode shard report: %w", workerURL, uerr), nil
+	}
+	return &sr, nil, nil
+}
+
+// mergeCoordinated folds the per-shard reports (already in lexicographic
+// prefix order) into the single-process parallel sweep's result. Two
+// cases need local canonical re-derivation on the coordinator:
+//   - any shard reporting a routing error ⇒ the statistical fields are
+//     meaningless and the canonical sequential-order first routing error
+//     is recomputed, exactly as sweepParallelOracle does;
+//   - a blocking sweep under deeper-than-level-1 sharding ⇒ sub-shard
+//     witnesses cannot reproduce the level-1 Heap-order witness, so the
+//     lowest blocked top-level shard is re-scanned first-blocked-only in
+//     its native enumeration order.
+func (s *Server) mergeCoordinated(ctx context.Context, plan *sweepPlan, results []*api.ShardReport) (*analysis.SweepResult, error) {
+	for _, rep := range results {
+		if rep.RouteErr != "" {
+			return analysis.SweepFirstRouteErr(plan.t.router, plan.t.hosts), nil
+		}
+	}
+	merged := &analysis.SweepResult{}
+	firstBlocked := -1
+	for i, rep := range results {
+		merged.Tested += rep.Tested
+		merged.Blocked += rep.Blocked
+		if rep.MaxLinkLoad > merged.MaxLinkLoad {
+			merged.MaxLinkLoad = rep.MaxLinkLoad
+		}
+		if firstBlocked < 0 && rep.Blocked > 0 {
+			firstBlocked = i
+		}
+	}
+	if firstBlocked < 0 {
+		return merged, nil
+	}
+	if len(plan.shards[firstBlocked]) <= 1 {
+		// Level-1 sharding: the worker's witness IS the parallel engine's
+		// (same shard, same engine selection, same enumeration order).
+		p, err := permutation.Parse(plan.t.hosts, results[firstBlocked].FirstBlocked)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: bad witness: %w", results[firstBlocked].Shard, err)
+		}
+		merged.FirstBlocked = p
+		return merged, nil
+	}
+	top := plan.shards[firstBlocked][0]
+	fb, err := analysis.SweepShardFirstBlockedCtx(ctx, plan.t.router, plan.t.hosts, []int{top}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if fb.FirstBlocked == nil {
+		return nil, fmt.Errorf("witness re-derivation found no blocked pattern in shard %d", top)
+	}
+	merged.FirstBlocked = fb.FirstBlocked
+	return merged, nil
+}

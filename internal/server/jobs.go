@@ -60,10 +60,11 @@ func (j *jobDef) Encode(v any) ([]byte, error) { return json.Marshal(v) }
 // batch endpoint reuses verifyJob for its items.
 var (
 	verifyJob    Job = &jobDef{op: "verify", validate: validateVerify, run: runVerify}
+	shardJob     Job = &jobDef{op: "verify/shard", validate: validateShard, run: runShard}
 	worstcaseJob Job = &jobDef{op: "worstcase", validate: validateWorstCase, run: runWorstCase}
 	simJob       Job = &jobDef{op: "sim", validate: validateSim, run: runSim}
 
-	jobs = []Job{verifyJob, worstcaseJob, simJob}
+	jobs = []Job{verifyJob, shardJob, worstcaseJob, simJob}
 )
 
 // Service-wide size caps. A request may not build a topology bigger than
@@ -118,11 +119,16 @@ func requestLinks(q *api.Request) int {
 		}
 		return h * q.Levels
 	}
-	if q.R > maxRequestLinks || q.N+q.M > maxRequestLinks {
+	// Cap every factor individually before multiplying: q.N+q.M itself can
+	// signed-overflow for huge m (e.g. 2^62), sailing a negative sum past
+	// the old `q.N+q.M > maxRequestLinks` comparison. With each factor
+	// bounded by maxRequestLinks (2^22) the int64 product is at most 2^45
+	// and cannot overflow, so the estimate saturates instead of wrapping.
+	if q.R > maxRequestLinks || q.N > maxRequestLinks || q.M > maxRequestLinks {
 		return maxRequestLinks + 1
 	}
-	if v := q.R * (q.N + q.M); v >= 0 && v <= maxRequestLinks {
-		return v
+	if v := int64(q.R) * (int64(q.N) + int64(q.M)); v <= maxRequestLinks {
+		return int(v)
 	}
 	return maxRequestLinks + 1
 }
@@ -179,6 +185,9 @@ func validateCommon(q *api.Request) error {
 // hosts → 80! patterns) started enumerating and only a deadline could kill
 // it. Raising max_exhaustive in the request is the explicit opt-in.
 func validateVerify(q *api.Request) error {
+	if len(q.ShardPrefix) > 0 {
+		return badRequest("shard_prefix is only valid on /v1/verify/shard")
+	}
 	switch q.Mode {
 	case "auto", "exact", "exhaustive", "exhaustive-parallel", "random":
 	default:
@@ -193,9 +202,45 @@ func validateVerify(q *api.Request) error {
 	return nil
 }
 
-func validateWorstCase(q *api.Request) error { return nil }
+// validateShard guards the worker half of the distributed sweep: the
+// prefix must name a real shard of the requested topology's host space,
+// and the shard's own pattern count ((hosts−len(prefix))! enumerated
+// permutations) is held to the same max_exhaustive opt-in as a forced
+// exhaustive sweep — a coordinator fanning a big sweep raises
+// max_exhaustive explicitly on every shard request.
+func validateShard(q *api.Request) error {
+	h := requestHosts(q)
+	if len(q.ShardPrefix) > h {
+		return badRequest("shard_prefix has %d entries for %d hosts", len(q.ShardPrefix), h)
+	}
+	seen := make(map[int]bool, len(q.ShardPrefix))
+	for _, d := range q.ShardPrefix {
+		if d < 0 || d >= h {
+			return badRequest("shard_prefix destination %d out of range [0,%d)", d, h)
+		}
+		if seen[d] {
+			return badRequest("shard_prefix repeats destination %d", d)
+		}
+		seen[d] = true
+	}
+	if free := h - len(q.ShardPrefix); free > q.MaxExhaustive {
+		return badRequest("shard sweeps %d free hosts, exceeds max_exhaustive=%d (%d! patterns); raise max_exhaustive explicitly",
+			free, q.MaxExhaustive, free)
+	}
+	return nil
+}
+
+func validateWorstCase(q *api.Request) error {
+	if len(q.ShardPrefix) > 0 {
+		return badRequest("shard_prefix is only valid on /v1/verify/shard")
+	}
+	return nil
+}
 
 func validateSim(q *api.Request) error {
+	if len(q.ShardPrefix) > 0 {
+		return badRequest("shard_prefix is only valid on /v1/verify/shard")
+	}
 	switch q.Arbiter {
 	case "round-robin", "oldest-first":
 	default:

@@ -27,6 +27,10 @@ type metrics struct {
 	batchItems   atomic.Int64 // items across all batches
 	batchDeduped atomic.Int64 // items answered by another item's computation
 
+	shardsDispatched atomic.Int64 // shard HTTP dispatches to workers (incl. retries)
+	shardsRetried    atomic.Int64 // shard dispatches that were retries
+	shardsResumed    atomic.Int64 // shards restored from store checkpoints
+
 	mu         sync.Mutex
 	jobLatency sim.Histogram // microseconds per executed job
 }
@@ -74,6 +78,10 @@ type MetricsSnapshot struct {
 	Batches      int64 `json:"batches"`
 	BatchItems   int64 `json:"batch_items"`
 	BatchDeduped int64 `json:"batch_deduped"`
+	// Distributed-sweep coordinator counters.
+	ShardsDispatched int64 `json:"shards_dispatched"`
+	ShardsRetried    int64 `json:"shards_retried"`
+	ShardsResumed    int64 `json:"shards_resumed"`
 	// JobLatency is the per-job execution-time histogram in microseconds
 	// (sim.Histogram JSON: count, sum, and log-scale buckets).
 	JobLatency *sim.Histogram `json:"job_latency_us"`
@@ -81,17 +89,20 @@ type MetricsSnapshot struct {
 
 func (m *metrics) snapshot(cacheEntries int) *MetricsSnapshot {
 	s := &MetricsSnapshot{
-		Endpoints:    make(map[string]EndpointSnapshot, len(m.endpoints)),
-		JobsRun:      m.jobsRun.Load(),
-		JobsRejected: m.jobsRejected.Load(),
-		QueueDepth:   m.queueDepth.Load(),
-		CacheEntries: cacheEntries,
-		StoreHits:    m.storeHits.Load(),
-		StoreMisses:  m.storeMisses.Load(),
-		StorePuts:    m.storePuts.Load(),
-		Batches:      m.batches.Load(),
-		BatchItems:   m.batchItems.Load(),
-		BatchDeduped: m.batchDeduped.Load(),
+		Endpoints:        make(map[string]EndpointSnapshot, len(m.endpoints)),
+		JobsRun:          m.jobsRun.Load(),
+		JobsRejected:     m.jobsRejected.Load(),
+		QueueDepth:       m.queueDepth.Load(),
+		CacheEntries:     cacheEntries,
+		StoreHits:        m.storeHits.Load(),
+		StoreMisses:      m.storeMisses.Load(),
+		StorePuts:        m.storePuts.Load(),
+		Batches:          m.batches.Load(),
+		BatchItems:       m.batchItems.Load(),
+		BatchDeduped:     m.batchDeduped.Load(),
+		ShardsDispatched: m.shardsDispatched.Load(),
+		ShardsRetried:    m.shardsRetried.Load(),
+		ShardsResumed:    m.shardsResumed.Load(),
 	}
 	for op, em := range m.endpoints {
 		s.Endpoints[op] = EndpointSnapshot{

@@ -48,6 +48,13 @@ type Config struct {
 	// DefaultTimeout applies when a request carries no timeout_ms;
 	// MaxTimeout caps client-supplied deadlines (0 = 30s / 5m).
 	DefaultTimeout, MaxTimeout time.Duration
+	// Coordinator, when set, makes this node a distributed-sweep
+	// coordinator: /v1/verify/sweep fans shards across its Workers instead
+	// of running the in-process parallel engine.
+	Coordinator *CoordinatorConfig
+	// ProgressInterval is the SSE sampling period for /v1/jobs/{id}/events
+	// (0 = 100ms).
+	ProgressInterval time.Duration
 }
 
 func (c *Config) fill() {
@@ -68,6 +75,12 @@ func (c *Config) fill() {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 100 * time.Millisecond
+	}
+	if c.Coordinator != nil {
+		c.Coordinator.fill()
 	}
 }
 
@@ -93,7 +106,24 @@ type Server struct {
 	store store.Store
 	met   *metrics
 
+	// closeMu serializes enqueue against Close: senders hold the read
+	// lock while sending, Close flips closed under the write lock before
+	// closing the channel, so an enqueue racing shutdown answers a clean
+	// 503 instead of panicking on a send to a closed channel.
+	closeMu   sync.RWMutex
+	closed    bool
 	closeOnce sync.Once
+
+	// Sweep-job tracking for /v1/verify/sweep and the /v1/jobs endpoints.
+	// sweepCtx parents every runner so Close can cancel and join them
+	// (sweepWg) before the store shuts down.
+	sweepMu     sync.Mutex
+	sweeps      map[string]*sweepJob
+	sweepByKey  map[string]*sweepJob
+	sweepSeq    int
+	sweepWg     sync.WaitGroup
+	sweepCtx    context.Context
+	sweepCancel context.CancelFunc
 }
 
 // batchOp is the metrics key for /v1/verify/batch (it is not a Job — it
@@ -103,11 +133,11 @@ const batchOp = "verify_batch"
 // opNames lists every metrics endpoint key: the registered jobs plus the
 // batch endpoint.
 func opNames() []string {
-	names := make([]string, 0, len(jobs)+1)
+	names := make([]string, 0, len(jobs)+2)
 	for _, jb := range jobs {
 		names = append(names, jb.Op())
 	}
-	return append(names, batchOp)
+	return append(names, batchOp, sweepOp)
 }
 
 // New starts cfg.Workers executor goroutines and returns the server.
@@ -118,11 +148,14 @@ func New(cfg Config) *Server {
 		st = store.NewMemory(cfg.CacheEntries)
 	}
 	s := &Server{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueDepth),
-		store: st,
-		met:   newMetrics(opNames()),
+		cfg:        cfg,
+		queue:      make(chan *job, cfg.QueueDepth),
+		store:      st,
+		met:        newMetrics(opNames()),
+		sweeps:     make(map[string]*sweepJob),
+		sweepByKey: make(map[string]*sweepJob),
 	}
+	s.sweepCtx, s.sweepCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -138,6 +171,13 @@ func New(cfg Config) *Server {
 // backstop that makes the drain unconditional).
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		s.closeMu.Lock()
+		s.closed = true
+		s.closeMu.Unlock()
+		// Cancel and join sweep runners first: they write checkpoints and
+		// results through the store, which closes last.
+		s.sweepCancel()
+		s.sweepWg.Wait()
 		close(s.queue)
 		s.wg.Wait()
 		s.store.Close()
@@ -161,17 +201,30 @@ func (s *Server) worker() {
 	}
 }
 
-// enqueue submits a job without blocking; false means the queue is full
-// (the caller answers 429).
-func (s *Server) enqueue(j *job) bool {
+// enqueue errors: the queue is full (caller answers 429) or the server
+// is shutting down (503).
+var (
+	errQueueFull     = errors.New("job queue full")
+	errServerClosing = errors.New("server shutting down")
+)
+
+// enqueue submits a job without blocking; a non-nil error names why the
+// job was not accepted.
+func (s *Server) enqueue(j *job) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		s.met.jobsRejected.Add(1)
+		return errServerClosing
+	}
 	s.met.queueDepth.Add(1)
 	select {
 	case s.queue <- j:
-		return true
+		return nil
 	default:
 		s.met.queueDepth.Add(-1)
 		s.met.jobsRejected.Add(1)
-		return false
+		return errQueueFull
 	}
 }
 
@@ -196,6 +249,9 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/v1/"+jb.Op(), s.jobHandler(jb))
 	}
 	mux.HandleFunc("/v1/verify/batch", s.batchHandler(verifyJob))
+	mux.HandleFunc("POST /v1/verify/sweep", s.sweepHandler)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.jobStatusHandler)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.jobEventsHandler)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
@@ -276,14 +332,29 @@ func (s *Server) jobHandler(jb Job) http.HandlerFunc {
 			}
 			return jb.Encode(out)
 		}}
-		if !s.enqueue(j) {
+		if err := s.enqueue(j); err != nil {
 			em.errors.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "job queue full")
+			if err == errQueueFull {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, err.Error())
+			} else {
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+			}
 			return
 		}
 
-		res := <-j.done
+		// Wait for the result OR the request deadline — never just the
+		// result: a job whose deadline passes while still queued must get
+		// its 504 now, not after the whole queue ahead of it drains. The
+		// worker that eventually dequeues the abandoned job sees the dead
+		// ctx, skips the run, decrements the queue gauge, and its handback
+		// lands in the buffered done channel without blocking.
+		var res jobResult
+		select {
+		case res = <-j.done:
+		case <-ctx.Done():
+			res = jobResult{err: ctx.Err()}
+		}
 		if res.err != nil {
 			em.errors.Add(1)
 			status, msg := errStatus(res.err)

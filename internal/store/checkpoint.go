@@ -1,0 +1,17 @@
+package store
+
+// Sweep checkpoints ride the same Store as cached results: the
+// coordinator Puts each completed shard's encoded ShardReport under a
+// reserved key derived from the sweep's canonical cache key, and on
+// restart Gets each planned shard's key back before dispatching anything.
+// No scan operation is needed — the shard plan is deterministic, so
+// resume is a fixed set of point lookups. The "ckpt|" prefix cannot
+// collide with result keys, which always start with an endpoint op name
+// ("verify|...", "sim|...").
+
+// CheckpointKey is the store key for one shard's checkpoint within a
+// sweep: sweepKey is the sweep's canonical cache key
+// (api.Request.CacheKey), shard the dotted prefix (api.ShardID).
+func CheckpointKey(sweepKey, shard string) string {
+	return "ckpt|" + sweepKey + "|" + shard
+}

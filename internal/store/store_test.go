@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -277,5 +278,21 @@ func TestMemoryEntriesOrder(t *testing.T) {
 	r.Put("d", []byte("4")) // should evict b, the LRU
 	if _, ok := r.Get("b"); ok {
 		t.Fatal("replayed LRU evicted the wrong entry")
+	}
+}
+
+// TestCheckpointKeyDisjoint: checkpoint keys can never collide with
+// result keys (ops never start with "ckpt|") and are unique per
+// (sweep, shard).
+func TestCheckpointKeyDisjoint(t *testing.T) {
+	k := CheckpointKey("verify|topo=ftree,n=2", "0.1")
+	if !strings.HasPrefix(k, "ckpt|") {
+		t.Fatalf("key %q lacks the reserved prefix", k)
+	}
+	if k == CheckpointKey("verify|topo=ftree,n=2", "0.2") {
+		t.Fatal("shards share a checkpoint key")
+	}
+	if k == CheckpointKey("verify|topo=ftree,n=3", "0.1") {
+		t.Fatal("sweeps share a checkpoint key")
 	}
 }
