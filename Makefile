@@ -4,14 +4,14 @@ GO ?= go
 
 # Single source of truth for the race-detector package list; CI runs
 # `make race` so the two can never drift.
-RACE_PKGS ?= ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal/experiments/ ./internal/workload/ ./internal/server/ ./internal/store/
+RACE_PKGS ?= ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal/experiments/ ./internal/workload/ ./internal/server/ ./internal/store/ ./internal/permutation/
 
 # Per-target budget for the fuzz smoke pass (`go test -fuzz` accepts one
-# target per invocation).
+# target per invocation). Entries are package:target.
 FUZZTIME ?= 30s
-FUZZ_TARGETS := FuzzEdgeColorBipartite FuzzBenesLooping FuzzRouteTableParity
+FUZZ_TARGETS := ./internal/routing/:FuzzEdgeColorBipartite ./internal/routing/:FuzzBenesLooping ./internal/routing/:FuzzRouteTableParity ./internal/permutation/:FuzzCanonicalParity
 
-.PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke batch-smoke coordinator-smoke report tables examples clean
+.PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke batch-smoke coordinator-smoke frontier-smoke report tables examples clean
 
 all: build test
 
@@ -35,6 +35,16 @@ batch-smoke:
 coordinator-smoke:
 	$(GO) test ./internal/server/ -count=1 -run 'TestCoordinatedSweep|TestSweepSSE'
 	GO="$(GO)" ./scripts/coordinator_smoke.sh
+
+# Frontier smoke: the symmetry-reduced sweep's byte-identity proofs — the
+# engine property tests against the scratch oracle, the server/coordinator
+# parity and sym-shard checkpoint tests, then the real nbverify -sym
+# binary diffed against the full engine at n=8 and certifying n=12 past
+# the factorial wall.
+frontier-smoke:
+	$(GO) test ./internal/analysis/ -count=1 -run 'TestSweepExhaustiveSym|TestSym|TestSweepSymShard'
+	$(GO) test ./internal/server/ -count=1 -run 'TestSym|TestCoordinatedSym'
+	GO="$(GO)" ./scripts/frontier_smoke.sh
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -60,8 +70,9 @@ bench-gate:
 # $(FUZZTIME) of new inputs per target).
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz $$t ($(FUZZTIME))"; \
-		$(GO) test ./internal/routing/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+		pkg=$${t%%:*}; target=$${t#*:}; \
+		echo "fuzz $$target in $$pkg ($(FUZZTIME))"; \
+		$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
 # Regenerate the full experiment report (EXPERIMENTS.md's backing artifact).

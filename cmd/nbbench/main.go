@@ -140,6 +140,39 @@ func buildBenchmarks() ([]benchmark, error) {
 		})
 	}
 
+	// SweepExhaustiveSymN9: the symmetry-reduced n=9 certificate — all
+	// 362880 patterns of ftree(3+5, 3) under full spray collapse to 443
+	// orbit representatives (group S_3 ≀ S_3, order 1296). The verdict must
+	// stay exact: 345168 blocked patterns, scaled from orbit counters.
+	// Gates both the orbit enumerator and the delta-checker integration;
+	// compare against SweepExhaustiveDelta for the frontier speedup.
+	{
+		f := fclos.NewFoldedClos(3, 5, 3)
+		r := fclos.NewFullSpray(f)
+		hosts := f.Ports()
+		res, stats := fclos.SweepExhaustiveSym(r, hosts, 3)
+		if !stats.Applied {
+			return nil, fmt.Errorf("sym sweep fell back at n=9: %s", stats.Reason)
+		}
+		benches = append(benches, benchmark{
+			name: "SweepExhaustiveSymN9",
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, stats := fclos.SweepExhaustiveSym(r, hosts, 3)
+					if !stats.Applied || res.Blocked != 345168 || res.Tested != 362880 {
+						b.Fatalf("sym sweep drifted: applied=%t blocked=%d tested=%d",
+							stats.Applied, res.Blocked, res.Tested)
+					}
+				}
+			},
+			met: map[string]float64{
+				"orbits":      float64(stats.Orbits),
+				"patterns":    float64(res.Tested),
+				"group_order": float64(stats.GroupOrder),
+			},
+		})
+	}
+
 	// OpenLoop: one full-load open-loop run on the nonblocking network.
 	{
 		f := fclos.NewNonblockingFtree(3, 12)

@@ -126,7 +126,7 @@ func TestBuildBenchmarksConstructs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"SweepRandom", "SweepExhaustive", "SweepExhaustiveDelta", "OpenLoop", "ClosedLoop4Trial"}
+	want := []string{"SweepRandom", "SweepExhaustive", "SweepExhaustiveDelta", "SweepExhaustiveSymN9", "OpenLoop", "ClosedLoop4Trial"}
 	if len(benches) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(benches), len(want))
 	}
@@ -148,6 +148,17 @@ func TestBuildBenchmarksConstructs(t *testing.T) {
 	}
 	if u := open.met["max_link_utilization"]; u <= 0 || u > 1 {
 		t.Fatalf("open-loop max utilization %v outside (0,1]", u)
+	}
+	// The sym setup run must have engaged the reduction with the pinned
+	// orbit count — a fallback would time the wrong engine.
+	var symBm benchmark
+	for _, bm := range benches {
+		if bm.name == "SweepExhaustiveSymN9" {
+			symBm = bm
+		}
+	}
+	if symBm.met["orbits"] != 443 || symBm.met["patterns"] != 362880 || symBm.met["group_order"] != 1296 {
+		t.Fatalf("sym benchmark metrics drifted: %+v", symBm.met)
 	}
 }
 

@@ -37,11 +37,13 @@ func main() {
 		n       = flag.Int("n", 4, "hosts per bottom switch")
 		m       = flag.Int("m", 16, "top-level switches")
 		r       = flag.Int("r", 20, "bottom-level switches")
-		scheme  = flag.String("routing", "paper", "paper | paper-folded | dest-mod | source-mod | dest-switch-mod | random-fixed | adaptive | greedy-local | global")
+		scheme  = flag.String("routing", "paper", "paper | paper-folded | dest-mod | source-mod | dest-switch-mod | random-fixed | adaptive | greedy-local | global | spray")
+		sprayW  = flag.Int("spray-width", 0, "spray path fan-out (0 or >= m sprays over all m trunks)")
 		trials  = flag.Int("trials", 500, "random permutations for sweep-based verification")
 		seed    = flag.Int64("seed", 1, "sweep seed")
 		maxExh  = flag.Int("max-exhaustive", 9, "use exhaustive sweep up to this many hosts")
 		firstB  = flag.Bool("first-blocked", false, "stop the exhaustive sweep at the first blocked pattern")
+		sym     = flag.Bool("sym", false, "reduce the exhaustive sweep over the fabric's host-relabeling symmetry group (byte-identical verdict; enables sweeps past the factorial wall where the routing is equivariant)")
 		verbose = flag.Bool("v", false, "print per-link detail for violations")
 		pattern = flag.String("pattern", "", `check one explicit pattern, e.g. "0->4 2->5", instead of deciding nonblocking`)
 		remote  = flag.String("remote", "", "nbserve address (host:port): submit the sweep to a remote node and stream its progress")
@@ -54,14 +56,14 @@ func main() {
 	defer stop()
 
 	if *remote != "" {
-		if err := runRemote(ctx, os.Stdout, *remote, *n, *m, *r, *scheme, *maxExh); err != nil {
+		if err := runRemote(ctx, os.Stdout, *remote, *n, *m, *r, *scheme, *sprayW, *maxExh, *sym); err != nil {
 			fmt.Fprintln(os.Stderr, "nbverify:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := runCtx(ctx, os.Stdout, *n, *m, *r, *scheme, *trials, *seed, *maxExh, *firstB, *verbose, *pattern); err != nil {
+	if err := runCtx(ctx, os.Stdout, *n, *m, *r, *scheme, *sprayW, *trials, *seed, *maxExh, *firstB, *sym, *verbose, *pattern); err != nil {
 		fmt.Fprintln(os.Stderr, "nbverify:", err)
 		os.Exit(1)
 	}
@@ -69,10 +71,10 @@ func main() {
 
 // run keeps the pre-context signature for tests and in-process callers.
 func run(out io.Writer, n, m, r int, scheme string, trials int, seed int64, maxExh int, firstBlocked, verbose bool, pattern string) error {
-	return runCtx(context.Background(), out, n, m, r, scheme, trials, seed, maxExh, firstBlocked, verbose, pattern)
+	return runCtx(context.Background(), out, n, m, r, scheme, 0, trials, seed, maxExh, firstBlocked, false, verbose, pattern)
 }
 
-func runCtx(ctx context.Context, out io.Writer, n, m, r int, scheme string, trials int, seed int64, maxExh int, firstBlocked, verbose bool, pattern string) error {
+func runCtx(ctx context.Context, out io.Writer, n, m, r int, scheme string, sprayWidth, trials int, seed int64, maxExh int, firstBlocked, sym, verbose bool, pattern string) error {
 	f := topology.NewFoldedClos(n, m, r)
 	fmt.Fprintf(out, "network: %s (%d hosts, %d switches)\n", f.Net.Name, f.Ports(), f.Switches())
 
@@ -104,6 +106,16 @@ func runCtx(ctx context.Context, out io.Writer, n, m, r int, scheme string, tria
 		router = routing.NewGreedyLocal(f)
 	case "global":
 		router = routing.NewGlobalRearrangeable(f)
+	case "spray":
+		if sprayWidth <= 0 || sprayWidth >= m {
+			router = routing.NewFullSpray(f)
+		} else {
+			ks, err := routing.NewKSpray(f, sprayWidth)
+			if err != nil {
+				return err
+			}
+			router = ks
+		}
 	default:
 		return fmt.Errorf("unknown routing %q", scheme)
 	}
@@ -151,6 +163,39 @@ func runCtx(ctx context.Context, out io.Writer, n, m, r int, scheme string, tria
 		return nil
 	}
 
+	if sym {
+		// -sym forces the exhaustive decision through the symmetry-reduced
+		// engine: where the reduction applies, even hosts! past the
+		// -max-exhaustive wall collapse to a feasible count of orbit
+		// representatives. Past the wall with no applicable reduction there
+		// is nothing safe to fall back to, so that is an error rather than
+		// a silent factorial sweep.
+		if st := analysis.SymApplicable(router, f.Ports(), n); !st.Applied && f.Ports() > maxExh {
+			return fmt.Errorf("symmetry reduction not applicable (%s) and %d hosts exceed -max-exhaustive=%d; the full %d! sweep needs that explicit opt-in",
+				st.Reason, f.Ports(), maxExh, f.Ports())
+		}
+		var res *analysis.SweepResult
+		var stats *analysis.SymStats
+		var err error
+		kind := "exhaustive"
+		if firstBlocked {
+			kind = "exhaustive (first-blocked)"
+			res, stats, err = analysis.SweepExhaustiveSymFirstBlockedCtx(ctx, router, f.Ports(), n)
+		} else {
+			res, stats, err = analysis.SweepExhaustiveSymCtx(ctx, router, f.Ports(), n)
+		}
+		if err != nil {
+			return err
+		}
+		if stats.Applied {
+			fmt.Fprintf(out, "symmetry: %d orbit representatives for %d patterns (group order %d)\n",
+				stats.Orbits, permutation.CountFull(f.Ports()), stats.GroupOrder)
+		} else {
+			fmt.Fprintf(out, "symmetry: fell back to the full sweep: %s\n", stats.Reason)
+		}
+		report(out, res, kind)
+		return res.RouteErr
+	}
 	if f.Ports() <= maxExh {
 		if firstBlocked {
 			res, err := analysis.SweepExhaustiveFirstBlockedCtx(ctx, router, f.Ports())

@@ -18,11 +18,11 @@ import (
 // nbserve node, follows the job's SSE event stream printing progress as
 // shards complete, and renders the final VerifyReport with the same
 // verdict lines the local engines print.
-func runRemote(ctx context.Context, out io.Writer, remote string, n, m, r int, scheme string, maxExh int) error {
+func runRemote(ctx context.Context, out io.Writer, remote string, n, m, r int, scheme string, sprayWidth, maxExh int, sym bool) error {
 	if !strings.Contains(remote, "://") {
 		remote = "http://" + remote
 	}
-	q := api.Request{N: n, M: m, R: r, Routing: scheme, MaxExhaustive: maxExh}
+	q := api.Request{N: n, M: m, R: r, Routing: scheme, SprayWidth: sprayWidth, MaxExhaustive: maxExh, SymReduce: sym}
 	body, err := json.Marshal(&q)
 	if err != nil {
 		return err

@@ -148,6 +148,20 @@ var (
 	ParsePermutation = permutation.Parse
 )
 
+// BlockSymmetry is the host-relabeling automorphism group S_b ≀ S_r of a
+// folded-Clos fabric (hosts interchangeable within a bottom switch, bottom
+// switches interchangeable), acting on patterns by conjugation. It backs
+// the symmetry-reduced exhaustive sweeps.
+type BlockSymmetry = permutation.BlockSymmetry
+
+var (
+	// NewBlockSymmetry builds the group for hosts split into blocks of
+	// blockSize consecutive hosts; SymFeasible reports whether the reduced
+	// enumeration applies to that geometry without building anything.
+	NewBlockSymmetry = permutation.NewBlockSymmetry
+	SymFeasible      = permutation.SymFeasible
+)
+
 // ---------------------------------------------------------------------------
 // Routing
 // ---------------------------------------------------------------------------
@@ -265,6 +279,9 @@ type (
 	Lemma1Result = analysis.Lemma1Result
 	// SweepResult summarizes a permutation sweep.
 	SweepResult = analysis.SweepResult
+	// SymStats reports how a symmetry-reduced sweep executed (applied vs
+	// fell back, orbit count, group order).
+	SymStats = analysis.SymStats
 	// Checker is the reusable flat-array contention accounting scratch
 	// backing CheckContention and the sweeps; hoist one outside a loop to
 	// analyze many patterns without per-pattern allocation.
@@ -305,6 +322,16 @@ var (
 	SweepExhaustiveOracle       = analysis.SweepExhaustiveOracle
 	SweepExhaustiveFirstBlocked = analysis.SweepExhaustiveFirstBlocked
 	SweepRandom                 = analysis.SweepRandom
+
+	// Symmetry-reduced sweeps: byte-identical to their full counterparts,
+	// sweeping one canonical representative per BlockSymmetry orbit (with
+	// counters scaled by orbit size) wherever the routing is equivariant,
+	// and falling back to the full engine where it is not. SymApplicable
+	// prechecks applicability without sweeping.
+	SweepExhaustiveSym             = analysis.SweepExhaustiveSym
+	SweepExhaustiveSymCtx          = analysis.SweepExhaustiveSymCtx
+	SweepExhaustiveSymFirstBlocked = analysis.SweepExhaustiveSymFirstBlocked
+	SymApplicable                  = analysis.SymApplicable
 
 	// The Ctx variants accept a context.Context and support cooperative
 	// cancellation: workers poll the context on a stride outside the

@@ -68,8 +68,23 @@ type Request struct {
 	// else.
 	ShardPrefix []int `json:"shard_prefix,omitempty"`
 
+	// SymShard selects one contiguous range [lo, hi) of top-level necklace
+	// indices of the symmetry-reduced orbit enumeration
+	// (permutation.BlockSymmetry.Shards). Only valid on /v1/verify/shard,
+	// only together with sym_reduce, and mutually exclusive with
+	// shard_prefix. Set by the coordinator when it fans a symmetry-reduced
+	// sweep across workers.
+	SymShard []int `json:"sym_shard,omitempty"`
+
 	// Execution controls. These do NOT participate in the result-cache key:
-	// they change how a job runs, not what it computes.
+	// they change how a job runs, not what it computes. SymReduce asks the
+	// exhaustive engines to sweep one canonical representative per orbit of
+	// the fabric's block symmetry group instead of all hosts! patterns —
+	// the result is byte-identical wherever the reduction applies (and the
+	// engine falls back to the full sweep where it does not), so a
+	// symmetry-reduced verify and its full counterpart share one cache
+	// entry.
+	SymReduce bool  `json:"sym_reduce,omitempty"`
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 	NoCache   bool  `json:"no_cache,omitempty"`
 }
@@ -93,6 +108,13 @@ func (q *Request) CacheKey(op string) string {
 		// Appended only when set so every pre-existing key is unchanged.
 		fmt.Fprintf(&b, "|shard=%s", ShardID(q.ShardPrefix))
 	}
+	if len(q.SymShard) == 2 {
+		// A sym shard computes a different partial result than the whole
+		// sweep (or any prefix shard), so it keys separately. SymReduce
+		// itself stays out of the key: a symmetry-reduced sweep's final
+		// report is byte-identical to the full engine's.
+		fmt.Fprintf(&b, "|symshard=%s", SymShardID(q.SymShard[0], q.SymShard[1]))
+	}
 	return b.String()
 }
 
@@ -108,6 +130,14 @@ func ShardID(prefix []int) string {
 		fmt.Fprintf(&b, "%d", d)
 	}
 	return b.String()
+}
+
+// SymShardID renders a symmetry-reduced shard range as the canonical
+// string used in cache keys, checkpoint keys, and shard reports:
+// "sym.2.5" for necklace indices [2, 5). The "sym." prefix keeps these
+// IDs disjoint from prefix-shard IDs, which are digits and dots only.
+func SymShardID(lo, hi int) string {
+	return fmt.Sprintf("sym.%d.%d", lo, hi)
 }
 
 // SeedPtr returns v as a *int64, for constructing Request literals with an
@@ -246,7 +276,7 @@ type ShardReport struct {
 	Network      string `json:"network"`
 	Hosts        int    `json:"hosts"`
 	Routing      string `json:"routing"`
-	Shard        string `json:"shard"` // dotted prefix, ShardID form
+	Shard        string `json:"shard"` // ShardID form, or SymShardID ("sym.lo.hi") for sym shards
 	Tested       int    `json:"tested"`
 	Blocked      int    `json:"blocked"`
 	MaxLinkLoad  int    `json:"max_link_load"`

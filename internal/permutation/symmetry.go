@@ -1,0 +1,724 @@
+package permutation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Symmetry reduction for folded-Clos exhaustive sweeps.
+//
+// A folded-Clos fabric with r bottom switches of n hosts each has a large
+// automorphism group: the hosts of one bottom switch are interchangeable,
+// whole bottom switches are interchangeable, and the top switches are
+// interchangeable. The first two act on hosts as the wreath product
+// W = S_b ≀ S_r (b hosts per block, r blocks, |W| = r!·(b!)^r); top-switch
+// permutations act on links only, so host patterns never see them — they
+// are absorbed by the link relabeling the analysis layer checks for.
+//
+// W acts on full permutation patterns by conjugation, p ↦ g∘p∘g⁻¹
+// (relabel both endpoints of every SD pair the same way — relabeling
+// sources and destinations independently is NOT a symmetry: a fixed point
+// s→s routes no links, so it must stay a fixed point). Two patterns in one
+// orbit produce identical link-load multisets under any routing that is
+// equivariant under W, so an exhaustive sweep only needs one
+// representative per orbit, scaling its verdict by the orbit size.
+//
+// The orbit of a pattern is characterized exactly by its cycle structure
+// projected to blocks: decompose p into cycles (fixed points are 1-cycles),
+// write each cycle as the sequence of block labels it visits — a necklace,
+// i.e. a string up to rotation — and take the multiset of necklaces up to
+// a global relabeling ρ ∈ S_r of the block alphabet. Two patterns are
+// conjugate under W iff these invariants match: per-block relabelings can
+// realign hosts within every block freely (each block's hosts are
+// distinguishable only by which necklace slots they occupy), and block
+// permutations realize exactly the alphabet relabelings.
+
+// Limits for the symmetry machinery. maxSymHosts keeps every factorial and
+// orbit size inside an int; maxSymBlocks bounds the r! block-alphabet
+// minimization applied to every candidate multiset; maxSymWork bounds the
+// enumeration itself — the number of necklace multisets grows like
+// hosts!/(blockSize!)^blocks, the index of the per-block relabeling
+// subgroup.
+const (
+	maxSymHosts  = 20
+	maxSymBlocks = 7
+	maxSymWork   = 1 << 22
+)
+
+// SymFeasible reports whether symmetry-reduced enumeration applies to a
+// fabric with the given host count and hosts-per-bottom-switch block size:
+// nil when feasible, otherwise an error naming the violated bound. The
+// bounds keep the reduced enumeration strictly cheaper than the sweeps it
+// replaces while covering every practically enumerable configuration
+// (e.g. 16 hosts as 2 blocks of 8: 16! ≈ 2·10¹³ patterns collapse to a
+// few thousand representatives).
+func SymFeasible(hosts, blockSize int) error {
+	if hosts <= 0 {
+		return fmt.Errorf("permutation: symmetry needs hosts > 0, got %d", hosts)
+	}
+	if blockSize <= 0 {
+		return fmt.Errorf("permutation: symmetry needs block size > 0, got %d", blockSize)
+	}
+	if hosts > maxSymHosts {
+		return fmt.Errorf("permutation: %d hosts exceeds the symmetry limit %d", hosts, maxSymHosts)
+	}
+	if hosts%blockSize != 0 {
+		return fmt.Errorf("permutation: block size %d does not divide %d hosts", blockSize, hosts)
+	}
+	r := hosts / blockSize
+	if r > maxSymBlocks {
+		return fmt.Errorf("permutation: %d blocks exceeds the symmetry limit %d", r, maxSymBlocks)
+	}
+	if work := CountFull(hosts) / ipow(CountFull(blockSize), r); work > maxSymWork {
+		return fmt.Errorf("permutation: ~%d equivalence classes exceeds the symmetry budget %d", work, maxSymWork)
+	}
+	return nil
+}
+
+// BlockSymmetry is the host-relabeling automorphism group S_b ≀ S_r of a
+// fabric whose hosts 0..hosts−1 partition into blocks of blockSize
+// consecutive hosts (host h lives in block h/blockSize — the layout every
+// folded-Clos topology in this repository uses). It provides the canonical
+// form of a pattern under conjugation, the orbit enumerator behind
+// symmetry-reduced sweeps, and the group generators the analysis layer
+// needs to certify that a routing respects the symmetry.
+type BlockSymmetry struct {
+	hosts     int
+	blockSize int
+	blocks    int
+	// necklaces holds every block-label sequence that can arise from a
+	// cycle — canonical (lexicographically minimal) rotations with no
+	// letter used more than blockSize times — sorted by (length, lex).
+	// This order puts the single-letter necklace of block β at index β,
+	// which the enumerator's completability prune relies on.
+	necklaces  []string
+	neckCounts [][]int // neckCounts[i][β] = uses of block β in necklaces[i]
+	lenStart   []int   // lenStart[L] = first index with length ≥ L
+}
+
+// symCache memoizes BlockSymmetry per geometry: the struct is immutable
+// after construction, the necklace table is the expensive part of setup,
+// and sweeps rebuild the group for the same few (hosts, blockSize) pairs
+// over and over. Bounded by the SymFeasible limits (hosts ≤ 20).
+var symCache sync.Map // [2]int → *BlockSymmetry
+
+// NewBlockSymmetry validates feasibility (SymFeasible) and precomputes the
+// necklace alphabet for the given geometry.
+func NewBlockSymmetry(hosts, blockSize int) (*BlockSymmetry, error) {
+	if err := SymFeasible(hosts, blockSize); err != nil {
+		return nil, err
+	}
+	key := [2]int{hosts, blockSize}
+	if v, ok := symCache.Load(key); ok {
+		return v.(*BlockSymmetry), nil
+	}
+	s := &BlockSymmetry{hosts: hosts, blockSize: blockSize, blocks: hosts / blockSize}
+	s.necklaces = buildNecklaces(s.blocks, s.blockSize)
+	s.neckCounts = make([][]int, len(s.necklaces))
+	for i, n := range s.necklaces {
+		cnt := make([]int, s.blocks)
+		for k := 0; k < len(n); k++ {
+			cnt[n[k]]++
+		}
+		s.neckCounts[i] = cnt
+	}
+	s.lenStart = make([]int, hosts+2)
+	idx := 0
+	for l := 0; l <= hosts+1; l++ {
+		for idx < len(s.necklaces) && len(s.necklaces[idx]) < l {
+			idx++
+		}
+		s.lenStart[l] = idx
+	}
+	symCache.Store(key, s)
+	return s, nil
+}
+
+// Hosts returns the endpoint count the group acts on.
+func (s *BlockSymmetry) Hosts() int { return s.hosts }
+
+// BlockSize returns the hosts-per-block size b.
+func (s *BlockSymmetry) BlockSize() int { return s.blockSize }
+
+// Blocks returns the block count r.
+func (s *BlockSymmetry) Blocks() int { return s.blocks }
+
+// GroupOrder returns |S_b ≀ S_r| = r!·(b!)^r, the factor by which the
+// group divides the pattern space (orbit sizes divide this times nothing —
+// they divide hosts! and average hosts!/#orbits).
+func (s *BlockSymmetry) GroupOrder() int {
+	return CountFull(s.blocks) * ipow(CountFull(s.blockSize), s.blocks)
+}
+
+// NecklaceCount returns the size of the necklace alphabet. Orbit shards
+// (Shards, OrbitsRange) are contiguous ranges of top-level necklace
+// indices in [0, NecklaceCount()).
+func (s *BlockSymmetry) NecklaceCount() int { return len(s.necklaces) }
+
+// Generators returns host permutations generating the group: the adjacent
+// transpositions within each block (r·(b−1) of them) and the adjacent
+// whole-block swaps (r−1). A routing equivariant under every generator is
+// equivariant under the whole group, so this is the certificate set the
+// analysis layer checks before trusting a symmetry-reduced sweep.
+func (s *BlockSymmetry) Generators() []*Permutation {
+	gens := make([]*Permutation, 0, s.blocks*(s.blockSize-1)+s.blocks-1)
+	for beta := 0; beta < s.blocks; beta++ {
+		for i := 0; i+1 < s.blockSize; i++ {
+			g := Identity(s.hosts)
+			a, b := beta*s.blockSize+i, beta*s.blockSize+i+1
+			g.dst[a], g.dst[b] = b, a
+			gens = append(gens, g)
+		}
+	}
+	for beta := 0; beta+1 < s.blocks; beta++ {
+		g := Identity(s.hosts)
+		for i := 0; i < s.blockSize; i++ {
+			a, b := beta*s.blockSize+i, (beta+1)*s.blockSize+i
+			g.dst[a], g.dst[b] = b, a
+		}
+		gens = append(gens, g)
+	}
+	return gens
+}
+
+// Canonical returns the canonical representative of p's orbit under the
+// group: conjugate patterns map to the same representative, and the
+// representative maps to itself. Only full permutations have orbits here
+// (exhaustive sweeps enumerate full patterns); partial patterns return an
+// error.
+func (s *BlockSymmetry) Canonical(p *Permutation) (*Permutation, error) {
+	necks, err := s.patternNecklaces(p)
+	if err != nil {
+		return nil, err
+	}
+	canon, _ := s.minimizeAlphabet(necks)
+	return s.rebuild(canon), nil
+}
+
+// OrbitSize returns the number of distinct patterns conjugate to p
+// (including p itself). Orbit sizes over all orbits sum to hosts!.
+func (s *BlockSymmetry) OrbitSize(p *Permutation) (int, error) {
+	necks, err := s.patternNecklaces(p)
+	if err != nil {
+		return 0, err
+	}
+	_, stab := s.minimizeAlphabet(necks)
+	return s.orbitSize(necks, stab), nil
+}
+
+// Orbits calls yield once per orbit with the canonical representative and
+// the orbit size, stopping early if yield returns false and reporting
+// whether the enumeration completed. The Permutation passed to yield is
+// freshly built per orbit (safe to retain). Representatives arrive in a
+// deterministic order: ascending by the orbit's largest necklace index,
+// then depth-first within — the order OrbitsRange shards.
+func (s *BlockSymmetry) Orbits(yield func(rep *Permutation, orbitSize int) bool) bool {
+	return s.OrbitsRange(0, len(s.necklaces), yield)
+}
+
+// OrbitsRange is Orbits restricted to orbits whose largest necklace index
+// falls in [lo, hi) — one contiguous shard of the enumeration. The ranges
+// of a partition of [0, NecklaceCount()) yield pairwise-disjoint orbit
+// sets whose concatenation in ascending range order equals Orbits' output
+// exactly, which is what lets a distributed sweep shard representatives
+// and still merge a byte-identical result.
+func (s *BlockSymmetry) OrbitsRange(lo, hi int, yield func(rep *Permutation, orbitSize int) bool) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.necklaces) {
+		hi = len(s.necklaces)
+	}
+	rem := make([]int, s.blocks)
+	for i := range rem {
+		rem[i] = s.blockSize
+	}
+	remTotal := s.hosts
+	chosen := make([]int, 0, s.hosts)
+	sc := newAlphaScratch(s)
+	abort := false
+
+	emit := func() {
+		// chosen is non-increasing by index; index order is (length, lex),
+		// so reversing gives the sorted multiset directly.
+		necks := sc.necks[:0]
+		for k := len(chosen) - 1; k >= 0; k-- {
+			necks = append(necks, s.necklaces[chosen[k]])
+		}
+		sc.necks = necks
+		stab, canonical := s.alphabetCanonicalScratch(necks, sc)
+		if !canonical {
+			return // another alphabet labeling of this orbit is the representative
+		}
+		if !yield(s.rebuild(necks), s.orbitSize(necks, stab)) {
+			abort = true
+		}
+	}
+
+	// DFS over multisets of necklaces chosen in non-increasing index order
+	// with per-block budgets rem. The prune keeps the walk dead-end free:
+	// a state is completable iff every block with remaining budget still
+	// has its single-letter necklace (index = block label) under the cap,
+	// because any such state finishes via single-letter necklaces in
+	// descending label order.
+	var step func(i int)
+	var rec func(cap int)
+	step = func(i int) {
+		cnt := s.neckCounts[i]
+		for beta, c := range cnt {
+			if c > rem[beta] {
+				return
+			}
+		}
+		for beta := i + 1; beta < s.blocks; beta++ {
+			if rem[beta] > cnt[beta] {
+				return // block beta's singles would exceed the cap
+			}
+		}
+		for beta, c := range cnt {
+			rem[beta] -= c
+		}
+		remTotal -= len(s.necklaces[i])
+		chosen = append(chosen, i)
+		if remTotal == 0 {
+			emit()
+		} else {
+			rec(i)
+		}
+		chosen = chosen[:len(chosen)-1]
+		remTotal += len(s.necklaces[i])
+		for beta, c := range cnt {
+			rem[beta] += c
+		}
+	}
+	rec = func(cap int) {
+		// Necklaces are length-sorted, so indices with length ≤ remTotal
+		// form the prefix [0, lenStart[remTotal+1]).
+		max := s.lenStart[remTotal+1] - 1
+		if cap < max {
+			max = cap
+		}
+		for i := 0; i <= max && !abort; i++ {
+			step(i)
+		}
+	}
+	for i := lo; i < hi && !abort; i++ {
+		if len(s.necklaces[i]) <= s.hosts {
+			step(i)
+		}
+	}
+	return !abort
+}
+
+// Shards partitions [0, NecklaceCount()) into at least minShards
+// contiguous top-level index ranges when possible, for OrbitsRange. Work
+// is concentrated in low-index (short-necklace) ranges, so the plan
+// oversplits — up to 8× minShards ranges — and leaves smoothing to the
+// dispatcher, mirroring PrefixShards' deepening.
+func (s *BlockSymmetry) Shards(minShards int) [][2]int {
+	n := len(s.necklaces)
+	if minShards < 1 {
+		minShards = 1
+	}
+	want := minShards * 8
+	if want > n {
+		want = n
+	}
+	shards := make([][2]int, 0, want)
+	lo := 0
+	for k := 0; k < want; k++ {
+		hi := lo + (n-lo)/(want-k)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		shards = append(shards, [2]int{lo, hi})
+		lo = hi
+	}
+	return shards
+}
+
+// patternNecklaces decomposes a full pattern into its cycle-projection
+// necklaces, sorted by (length, lex).
+func (s *BlockSymmetry) patternNecklaces(p *Permutation) ([]string, error) {
+	if p.N() != s.hosts {
+		return nil, fmt.Errorf("permutation: pattern has %d endpoints, symmetry group acts on %d", p.N(), s.hosts)
+	}
+	if !p.Full() {
+		return nil, fmt.Errorf("permutation: symmetry canonical form requires a full permutation, got %d/%d pairs", p.Size(), s.hosts)
+	}
+	visited := make([]bool, s.hosts)
+	necks := make([]string, 0, s.hosts)
+	seq := make([]byte, 0, s.hosts)
+	for h0 := 0; h0 < s.hosts; h0++ {
+		if visited[h0] {
+			continue
+		}
+		seq = seq[:0]
+		for h := h0; !visited[h]; h = p.Dst(h) {
+			visited[h] = true
+			seq = append(seq, byte(h/s.blockSize))
+		}
+		necks = append(necks, minRotation(seq))
+	}
+	sortNecklaces(necks)
+	return necks, nil
+}
+
+// minimizeAlphabet returns the (length, lex)-sorted necklace multiset with
+// the minimal encoding over all relabelings ρ ∈ S_r of the block alphabet,
+// together with the stabilizer size |{ρ : ρ·necks = minimum}| — which
+// equals the stabilizer of necks itself, since the relabelings reaching
+// the minimum form one coset of it.
+func (s *BlockSymmetry) minimizeAlphabet(necks []string) (canon []string, stab int) {
+	canon, stab = necks, 0
+	bestEnc := encodeNecklaces(necks)
+	rho := make([]byte, s.blocks)
+	EnumerateFull(s.blocks, func(g *Permutation) bool {
+		for i := range rho {
+			rho[i] = byte(g.Dst(i))
+		}
+		rel := relabelNecklaces(necks, rho)
+		enc := encodeNecklaces(rel)
+		if enc < bestEnc {
+			bestEnc, canon, stab = enc, rel, 1
+		} else if enc == bestEnc {
+			stab++
+		}
+		return true
+	})
+	return canon, stab
+}
+
+// alphaScratch holds the reusable buffers of the canonicality filter on
+// the orbit enumeration's hot path. One scratch per OrbitsRange call keeps
+// the filter allocation-free and the enumeration goroutine-safe.
+type alphaScratch struct {
+	necks []string // the candidate multiset under test
+	rel   [][]byte // relabeled canonical rotations, one buffer per necklace
+	ord   []int    // sort order of rel by (length, lex)
+	enc0  []byte   // encoding of necks, the comparison baseline
+	rho   []byte   // current alphabet relabeling
+}
+
+func newAlphaScratch(s *BlockSymmetry) *alphaScratch {
+	sc := &alphaScratch{
+		necks: make([]string, 0, s.hosts),
+		rel:   make([][]byte, s.hosts),
+		ord:   make([]int, 0, s.hosts),
+		enc0:  make([]byte, 0, 2*s.hosts),
+		rho:   make([]byte, s.blocks),
+	}
+	for i := range sc.rel {
+		sc.rel[i] = make([]byte, 0, s.hosts)
+	}
+	return sc
+}
+
+// alphabetCanonicalScratch reports whether necks already carries the
+// minimal alphabet encoding (early-exiting on the first smaller
+// relabeling) and, when it does, the stabilizer size. Semantically
+// identical to encoding every relabeling with encodeNecklaces and
+// comparing, but runs without allocating.
+func (s *BlockSymmetry) alphabetCanonicalScratch(necks []string, sc *alphaScratch) (stab int, ok bool) {
+	sc.enc0 = sc.enc0[:0]
+	for _, n := range necks {
+		sc.enc0 = append(sc.enc0, byte(len(n)))
+		sc.enc0 = append(sc.enc0, n...)
+	}
+	ok = true
+	EnumerateFull(s.blocks, func(g *Permutation) bool {
+		for i := range sc.rho {
+			sc.rho[i] = byte(g.Dst(i))
+		}
+		c := s.compareRelabeled(necks, sc)
+		if c < 0 {
+			ok = false
+			return false
+		}
+		if c == 0 {
+			stab++
+		}
+		return true
+	})
+	return stab, ok
+}
+
+// compareRelabeled relabels necks through sc.rho, canonicalizes rotations,
+// sorts by (length, lex), and compares the resulting encoding against
+// sc.enc0, returning the sign of (relabeled − baseline). Relabeling
+// preserves each necklace's length, so the sorted encodings align
+// position-by-position.
+func (s *BlockSymmetry) compareRelabeled(necks []string, sc *alphaScratch) int {
+	for i, n := range necks {
+		buf := sc.rel[i][:0]
+		for k := 0; k < len(n); k++ {
+			buf = append(buf, sc.rho[n[k]])
+		}
+		sc.rel[i] = minRotateInPlace(buf)
+	}
+	// Insertion sort of indices: multisets are tiny (≤ hosts entries).
+	ord := sc.ord[:0]
+	for i := range necks {
+		ord = append(ord, i)
+	}
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && byteNecklaceLess(sc.rel[ord[j]], sc.rel[ord[j-1]]); j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	sc.ord = ord
+	pos := 0
+	for _, idx := range ord {
+		nb := sc.rel[idx]
+		if c := int(byte(len(nb))) - int(sc.enc0[pos]); c != 0 {
+			return c
+		}
+		pos++
+		for k := 0; k < len(nb); k++ {
+			if c := int(nb[k]) - int(sc.enc0[pos]); c != 0 {
+				return c
+			}
+			pos++
+		}
+	}
+	return 0
+}
+
+// byteNecklaceLess is the (length, lex) order on byte necklaces — the same
+// total order sortNecklaces imposes on strings.
+func byteNecklaceLess(a, b []byte) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+// minRotateInPlace rotates seq to its lexicographically minimal rotation
+// without allocating, using the three-reversal rotation.
+func minRotateInPlace(seq []byte) []byte {
+	n := len(seq)
+	best := 0
+	for s := 1; s < n; s++ {
+		for k := 0; k < n; k++ {
+			a, b := seq[(s+k)%n], seq[(best+k)%n]
+			if a < b {
+				best = s
+				break
+			}
+			if a > b {
+				break
+			}
+		}
+	}
+	if best == 0 {
+		return seq
+	}
+	reverseBytes(seq[:best])
+	reverseBytes(seq[best:])
+	reverseBytes(seq)
+	return seq
+}
+
+func reverseBytes(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}
+
+// orbitSize computes the orbit size of the pattern class with the given
+// necklace multiset and alphabet-stabilizer size:
+//
+//	(r!/stab) · (b!)^r / (∏_cycles sym_c · ∏_types mult_t!)
+//
+// The second factor counts the patterns sharing this exact labeled
+// multiset: hosts distribute into necklace slots block-by-block ((b!)^r
+// ways), double-counted once per rotation fixing a cycle's label sequence
+// (sym_c) and once per permutation of identical necklaces (mult_t!). The
+// first factor counts the distinct alphabet relabelings of the multiset.
+// Both divisions are exact; sizes sum to hosts! over all orbits.
+func (s *BlockSymmetry) orbitSize(necks []string, stab int) int {
+	num := ipow(CountFull(s.blockSize), s.blocks)
+	den := 1
+	for i := 0; i < len(necks); {
+		j := i
+		for j < len(necks) && necks[j] == necks[i] {
+			j++
+		}
+		den *= CountFull(j - i) // mult!
+		den *= ipow(rotationSymmetry(necks[i]), j-i)
+		i = j
+	}
+	if num%den != 0 {
+		panic("permutation: orbit size division not exact")
+	}
+	relabelings := CountFull(s.blocks) / stab
+	return relabelings * (num / den)
+}
+
+// rebuild constructs the canonical representative of a sorted canonical
+// necklace multiset: walk the necklaces in order, assign each slot the
+// lowest unused host of its block, and close each cycle. Decomposing the
+// result reproduces the multiset, so Canonical is idempotent.
+func (s *BlockSymmetry) rebuild(necks []string) *Permutation {
+	p := New(s.hosts)
+	next := make([]int, s.blocks)
+	hostSeq := make([]int, 0, s.hosts)
+	for _, neck := range necks {
+		hostSeq = hostSeq[:0]
+		for i := 0; i < len(neck); i++ {
+			beta := int(neck[i])
+			hostSeq = append(hostSeq, beta*s.blockSize+next[beta])
+			next[beta]++
+		}
+		for i, h := range hostSeq {
+			p.dst[h] = hostSeq[(i+1)%len(hostSeq)]
+		}
+	}
+	return p
+}
+
+// buildNecklaces enumerates every canonical-rotation block-label sequence
+// over r letters with per-letter multiplicity ≤ b, sorted by (length, lex).
+func buildNecklaces(r, b int) []string {
+	var out []string
+	seq := make([]byte, 0, r*b)
+	cnt := make([]int, r)
+	var rec func()
+	rec = func() {
+		if len(seq) > 0 && isMinRotation(seq) {
+			out = append(out, string(seq))
+		}
+		if len(seq) == cap(seq) {
+			return
+		}
+		for c := 0; c < r; c++ {
+			if cnt[c] == b {
+				continue
+			}
+			seq = append(seq, byte(c))
+			cnt[c]++
+			rec()
+			seq = seq[:len(seq)-1]
+			cnt[c]--
+		}
+	}
+	rec()
+	sortNecklaces(out)
+	return out
+}
+
+// isMinRotation reports whether seq is ≤ every rotation of itself.
+func isMinRotation(seq []byte) bool {
+	n := len(seq)
+	for s := 1; s < n; s++ {
+		for k := 0; k < n; k++ {
+			a, b := seq[(s+k)%n], seq[k]
+			if a < b {
+				return false
+			}
+			if a > b {
+				break
+			}
+		}
+	}
+	return true
+}
+
+// minRotation returns the lexicographically minimal rotation of seq.
+func minRotation(seq []byte) string {
+	n := len(seq)
+	best := 0
+	for s := 1; s < n; s++ {
+		for k := 0; k < n; k++ {
+			a, b := seq[(s+k)%n], seq[(best+k)%n]
+			if a < b {
+				best = s
+				break
+			}
+			if a > b {
+				break
+			}
+		}
+	}
+	rot := make([]byte, n)
+	for k := 0; k < n; k++ {
+		rot[k] = seq[(best+k)%n]
+	}
+	return string(rot)
+}
+
+// rotationSymmetry returns the number of rotations fixing seq
+// (len/period).
+func rotationSymmetry(seq string) int {
+	n := len(seq)
+	for p := 1; p < n; p++ {
+		if n%p != 0 {
+			continue
+		}
+		ok := true
+		for k := p; k < n; k++ {
+			if seq[k] != seq[k-p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return n / p
+		}
+	}
+	return 1
+}
+
+// sortNecklaces orders a multiset by (length, lex) — the total order every
+// encoding and index in this file assumes.
+func sortNecklaces(necks []string) {
+	sort.Slice(necks, func(i, j int) bool {
+		if len(necks[i]) != len(necks[j]) {
+			return len(necks[i]) < len(necks[j])
+		}
+		return necks[i] < necks[j]
+	})
+}
+
+// relabelNecklaces maps every letter through rho, re-canonicalizes each
+// rotation, and re-sorts.
+func relabelNecklaces(necks []string, rho []byte) []string {
+	out := make([]string, len(necks))
+	buf := make([]byte, 0, 32)
+	for i, n := range necks {
+		buf = buf[:0]
+		for k := 0; k < len(n); k++ {
+			buf = append(buf, rho[n[k]])
+		}
+		out[i] = minRotation(buf)
+	}
+	sortNecklaces(out)
+	return out
+}
+
+// encodeNecklaces flattens a (length, lex)-sorted multiset into one
+// comparable string: each necklace length-prefixed, concatenated in order.
+func encodeNecklaces(necks []string) string {
+	buf := make([]byte, 0, 2*len(necks)+16)
+	for _, n := range necks {
+		buf = append(buf, byte(len(n)))
+		buf = append(buf, n...)
+	}
+	return string(buf)
+}
+
+// ipow computes base^exp by repeated multiplication (small exact inputs
+// only; overflow is excluded by SymFeasible's bounds).
+func ipow(base, exp int) int {
+	v := 1
+	for i := 0; i < exp; i++ {
+		v *= base
+	}
+	return v
+}

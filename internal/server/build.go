@@ -166,11 +166,28 @@ func buildTarget(q *api.Request) (*target, error) {
 	}
 }
 
+// symBlockSize is the hosts-per-bottom-switch block size the symmetry
+// group acts on: n for ftree(n+m, r), ports/2 (hosts per leaf switch) for
+// the m-port n-tree. Where the resulting group does not actually commute
+// with the routing, the engine's equivariance certificate rejects it and
+// the sweep falls back — still byte-identical — so this only has to name
+// the fabric's natural block.
+func symBlockSize(q *api.Request, t *target) int {
+	if t.ftree != nil {
+		return q.N
+	}
+	return q.Ports / 2
+}
+
 // runVerify answers POST /v1/verify: the nbverify decision procedure with
 // cancellation. Mode auto uses the exact Lemma-1 analysis for single-path
 // routers, an exhaustive sweep up to max_exhaustive hosts, and the
 // randomized+structured sweep beyond; exhaustive | exhaustive-parallel |
-// random force a sweep engine.
+// random force a sweep engine. sym_reduce asks the exhaustive engines to
+// sweep orbit representatives of the fabric's block symmetry group
+// instead of all hosts! patterns; the report is byte-identical either
+// way (the engine falls back to the full sweep where the reduction does
+// not apply), which is why sym_reduce stays out of the cache key.
 func runVerify(ctx context.Context, q *api.Request) (any, error) {
 	t, err := buildTarget(q)
 	if err != nil {
@@ -213,15 +230,27 @@ func runVerify(ctx context.Context, q *api.Request) (any, error) {
 	case "exhaustive":
 		if q.FirstBlocked {
 			rep.Method = "exhaustive-first-blocked"
-			res, err = analysis.SweepExhaustiveFirstBlockedCtx(ctx, t.router, t.hosts)
+			if q.SymReduce {
+				res, _, err = analysis.SweepExhaustiveSymFirstBlockedCtx(ctx, t.router, t.hosts, symBlockSize(q, t))
+			} else {
+				res, err = analysis.SweepExhaustiveFirstBlockedCtx(ctx, t.router, t.hosts)
+			}
 		} else {
 			rep.Method = "exhaustive"
-			res, err = analysis.SweepExhaustiveCtx(ctx, t.router, t.hosts)
+			if q.SymReduce {
+				res, _, err = analysis.SweepExhaustiveSymCtx(ctx, t.router, t.hosts, symBlockSize(q, t))
+			} else {
+				res, err = analysis.SweepExhaustiveCtx(ctx, t.router, t.hosts)
+			}
 		}
 		rep.Exact = true
 	case "exhaustive-parallel":
 		rep.Method, rep.Exact = "exhaustive-parallel", true
-		res, err = analysis.SweepExhaustiveParallelCtx(ctx, t.router, t.hosts, q.Workers)
+		if q.SymReduce {
+			res, _, err = analysis.SweepExhaustiveSymParallelProgressCtx(ctx, t.router, t.hosts, symBlockSize(q, t), q.Workers, nil)
+		} else {
+			res, err = analysis.SweepExhaustiveParallelCtx(ctx, t.router, t.hosts, q.Workers)
+		}
 	case "random":
 		rep.Method = "random"
 		res, err = analysis.SweepRandomCtx(ctx, t.router, t.hosts, q.Trials, q.SeedValue())
@@ -254,6 +283,33 @@ func runShard(ctx context.Context, q *api.Request) (any, error) {
 	t, err := buildTarget(q)
 	if err != nil {
 		return nil, err
+	}
+	if len(q.SymShard) == 2 {
+		// A symmetry-reduced shard: one range of the orbit enumeration,
+		// counters already scaled by orbit size. The coordinator plans sym
+		// shards only after proving applicability, so a worker that cannot
+		// apply the reduction is misconfigured relative to its coordinator —
+		// a fatal 400, never a silent fallback (the counters would not mean
+		// the same thing).
+		bs := symBlockSize(q, t)
+		if stats := analysis.SymApplicable(t.router, t.hosts, bs); !stats.Applied {
+			return nil, badRequest("symmetry reduction not applicable here: %s", stats.Reason)
+		}
+		res, _, err := analysis.SweepSymShardCtx(ctx, t.router, t.hosts, bs, q.SymShard[0], q.SymShard[1], nil)
+		if err != nil {
+			return nil, err
+		}
+		rep := &api.ShardReport{
+			Network: t.net.Name, Hosts: t.hosts, Routing: t.router.Name(),
+			Shard:  api.SymShardID(q.SymShard[0], q.SymShard[1]),
+			Tested: res.Tested, Blocked: res.Blocked, MaxLinkLoad: res.MaxLinkLoad,
+		}
+		if res.FirstBlocked != nil {
+			// Signals blockedness only: the coordinator re-derives the
+			// full-order witness itself.
+			rep.FirstBlocked = res.FirstBlocked.String()
+		}
+		return rep, nil
 	}
 	res, err := analysis.SweepShardCtx(ctx, t.router, t.hosts, q.ShardPrefix, nil)
 	if err != nil {

@@ -98,14 +98,19 @@ type shardEvent struct {
 // routing errors), leaving report assembly to the caller.
 func (s *Server) runCoordinated(ctx context.Context, sj *sweepJob, q *api.Request, plan *sweepPlan) (*analysis.SweepResult, error) {
 	cc := s.cfg.Coordinator
+	if plan.sym {
+		s.met.symSweeps.Add(1)
+	} else if q.SymReduce {
+		s.met.symFallbacks.Add(1)
+	}
 	results := make([]*api.ShardReport, len(plan.shards))
 	var pending []*shardTask
-	for i, pfx := range plan.shards {
-		if rep, ok := plan.resumed[api.ShardID(pfx)]; ok {
+	for i, sh := range plan.shards {
+		if rep, ok := plan.resumed[plan.shardID(sh)]; ok {
 			results[i] = rep
 			continue
 		}
-		pending = append(pending, &shardTask{idx: i, prefix: pfx, failedOn: map[int]bool{}})
+		pending = append(pending, &shardTask{idx: i, prefix: sh, failedOn: map[int]bool{}})
 	}
 
 	if len(pending) > 0 {
@@ -127,7 +132,7 @@ func (s *Server) runCoordinated(ctx context.Context, sj *sweepJob, q *api.Reques
 				s.met.shardsRetried.Add(1)
 			}
 			go func() {
-				rep, err, fatal := s.dispatchShard(ctx, cc, q, t.prefix, cc.Workers[w])
+				rep, err, fatal := s.dispatchShard(ctx, cc, q, plan, t.prefix, cc.Workers[w])
 				events <- shardEvent{task: t, worker: w, rep: rep, err: err, fatal: fatal}
 			}()
 		}
@@ -183,7 +188,7 @@ func (s *Server) runCoordinated(ctx context.Context, sj *sweepJob, q *api.Reques
 					ev.task.failedOn[ev.worker] = true
 					if ev.task.attempts > cc.ShardRetries {
 						return nil, fmt.Errorf("shard %s failed after %d attempts: %w",
-							api.ShardID(ev.task.prefix), ev.task.attempts, ev.err)
+							plan.shardID(ev.task.prefix), ev.task.attempts, ev.err)
 					}
 					backoff := cc.RetryBackoff << (ev.task.attempts - 1)
 					if backoff > 10*time.Second {
@@ -217,9 +222,16 @@ func (s *Server) runCoordinated(ctx context.Context, sj *sweepJob, q *api.Reques
 // dispatchShard POSTs one shard to one worker. err is retryable; fatal
 // means the worker rejected the request as invalid (400), which no retry
 // can fix.
-func (s *Server) dispatchShard(ctx context.Context, cc *CoordinatorConfig, q *api.Request, prefix []int, workerURL string) (rep *api.ShardReport, err, fatal error) {
+func (s *Server) dispatchShard(ctx context.Context, cc *CoordinatorConfig, q *api.Request, plan *sweepPlan, shard []int, workerURL string) (rep *api.ShardReport, err, fatal error) {
 	sq := *q
-	sq.ShardPrefix = prefix
+	if plan.sym {
+		sq.SymReduce, sq.SymShard, sq.ShardPrefix = true, shard, nil
+	} else {
+		// A sym_reduce sweep that fell back to prefix sharding (reduction
+		// inapplicable) must not carry the flag to workers: on the shard
+		// endpoint sym_reduce demands a sym_shard.
+		sq.SymReduce, sq.SymShard, sq.ShardPrefix = false, nil, shard
+	}
 	sq.Mode = "" // shard requests carry no engine mode
 	sq.NoCache = q.NoCache
 	sq.TimeoutMs = cc.ShardTimeout.Milliseconds()
@@ -288,6 +300,22 @@ func (s *Server) mergeCoordinated(ctx context.Context, plan *sweepPlan, results 
 		}
 	}
 	if firstBlocked < 0 {
+		return merged, nil
+	}
+	if plan.sym {
+		// Sym shard witnesses are canonical representatives in enumeration
+		// order — they prove blockedness but are not the parallel engine's
+		// witness. Re-derive it locally in the parallel merge order (first
+		// blocked pattern of the lowest level-1 prefix shard), exactly what
+		// a single-node sweep reports.
+		w, err := analysis.SweepSymWitness(ctx, plan.t.router, plan.t.hosts, true)
+		if err != nil {
+			return nil, err
+		}
+		if w == nil {
+			return nil, fmt.Errorf("sym witness re-derivation found no blocked pattern")
+		}
+		merged.FirstBlocked = w
 		return merged, nil
 	}
 	if len(plan.shards[firstBlocked]) <= 1 {

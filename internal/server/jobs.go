@@ -188,10 +188,16 @@ func validateVerify(q *api.Request) error {
 	if len(q.ShardPrefix) > 0 {
 		return badRequest("shard_prefix is only valid on /v1/verify/shard")
 	}
+	if len(q.SymShard) > 0 {
+		return badRequest("sym_shard is only valid on /v1/verify/shard")
+	}
 	switch q.Mode {
 	case "auto", "exact", "exhaustive", "exhaustive-parallel", "random":
 	default:
 		return badRequest("unknown verify mode %q", q.Mode)
+	}
+	if q.SymReduce && (q.Mode == "random" || q.Mode == "exact") {
+		return badRequest("sym_reduce applies to exhaustive sweeps only (mode %q)", q.Mode)
 	}
 	if q.Mode == "exhaustive" || q.Mode == "exhaustive-parallel" {
 		if h := requestHosts(q); h > q.MaxExhaustive {
@@ -210,6 +216,34 @@ func validateVerify(q *api.Request) error {
 // max_exhaustive explicitly on every shard request.
 func validateShard(q *api.Request) error {
 	h := requestHosts(q)
+	if len(q.SymShard) > 0 {
+		// A symmetry-reduced shard: one contiguous range of top-level
+		// necklace indices of the orbit enumeration. The range's exact upper
+		// bound depends on the necklace alphabet, which the engine validates
+		// when it builds the group; here we enforce the request shape plus
+		// the same max_exhaustive opt-in a full sweep over these hosts needs,
+		// since orbit counters are scaled back to hosts! patterns.
+		if !q.SymReduce {
+			return badRequest("sym_shard requires sym_reduce")
+		}
+		if len(q.ShardPrefix) > 0 {
+			return badRequest("sym_shard and shard_prefix are mutually exclusive")
+		}
+		if len(q.SymShard) != 2 {
+			return badRequest("sym_shard must be [lo, hi), have %d entries", len(q.SymShard))
+		}
+		if lo, hi := q.SymShard[0], q.SymShard[1]; lo < 0 || hi <= lo {
+			return badRequest("sym_shard range [%d, %d) is empty or negative", lo, hi)
+		}
+		if h > q.MaxExhaustive {
+			return badRequest("sym shard sweeps %d hosts, exceeds max_exhaustive=%d (%d! patterns); raise max_exhaustive explicitly",
+				h, q.MaxExhaustive, h)
+		}
+		return nil
+	}
+	if q.SymReduce {
+		return badRequest("sym_reduce on /v1/verify/shard requires sym_shard")
+	}
 	if len(q.ShardPrefix) > h {
 		return badRequest("shard_prefix has %d entries for %d hosts", len(q.ShardPrefix), h)
 	}
@@ -234,12 +268,24 @@ func validateWorstCase(q *api.Request) error {
 	if len(q.ShardPrefix) > 0 {
 		return badRequest("shard_prefix is only valid on /v1/verify/shard")
 	}
+	if len(q.SymShard) > 0 {
+		return badRequest("sym_shard is only valid on /v1/verify/shard")
+	}
+	if q.SymReduce {
+		return badRequest("sym_reduce is only valid on verify endpoints")
+	}
 	return nil
 }
 
 func validateSim(q *api.Request) error {
 	if len(q.ShardPrefix) > 0 {
 		return badRequest("shard_prefix is only valid on /v1/verify/shard")
+	}
+	if len(q.SymShard) > 0 {
+		return badRequest("sym_shard is only valid on /v1/verify/shard")
+	}
+	if q.SymReduce {
+		return badRequest("sym_reduce is only valid on verify endpoints")
 	}
 	switch q.Arbiter {
 	case "round-robin", "oldest-first":

@@ -31,6 +31,9 @@ type metrics struct {
 	shardsRetried    atomic.Int64 // shard dispatches that were retries
 	shardsResumed    atomic.Int64 // shards restored from store checkpoints
 
+	symSweeps    atomic.Int64 // sweeps that ran symmetry-reduced
+	symFallbacks atomic.Int64 // sym_reduce sweeps that fell back to the full engine
+
 	mu         sync.Mutex
 	jobLatency sim.Histogram // microseconds per executed job
 }
@@ -82,6 +85,11 @@ type MetricsSnapshot struct {
 	ShardsDispatched int64 `json:"shards_dispatched"`
 	ShardsRetried    int64 `json:"shards_retried"`
 	ShardsResumed    int64 `json:"shards_resumed"`
+	// Symmetry-reduction counters: sweeps that ran over orbit
+	// representatives vs sym_reduce sweeps that fell back to the full
+	// engine (infeasible geometry or non-equivariant routing).
+	SymSweeps    int64 `json:"sym_sweeps"`
+	SymFallbacks int64 `json:"sym_fallbacks"`
 	// JobLatency is the per-job execution-time histogram in microseconds
 	// (sim.Histogram JSON: count, sum, and log-scale buckets).
 	JobLatency *sim.Histogram `json:"job_latency_us"`
@@ -103,6 +111,8 @@ func (m *metrics) snapshot(cacheEntries int) *MetricsSnapshot {
 		ShardsDispatched: m.shardsDispatched.Load(),
 		ShardsRetried:    m.shardsRetried.Load(),
 		ShardsResumed:    m.shardsResumed.Load(),
+		SymSweeps:        m.symSweeps.Load(),
+		SymFallbacks:     m.symFallbacks.Load(),
 	}
 	for op, em := range m.endpoints {
 		s.Endpoints[op] = EndpointSnapshot{

@@ -92,13 +92,27 @@ func (sj *sweepJob) fail(msg string) {
 
 // sweepPlan is everything the handler resolves up front: the validated
 // target, the canonical key, the shard partition, and any checkpointed
-// shard results found in the store.
+// shard results found in the store. When sym is true the sweep is
+// symmetry-reduced: each shards entry is a [lo, hi) necklace-index range
+// of the orbit enumeration instead of a destination prefix, identified
+// as "sym.lo.hi" in checkpoints and reports.
 type sweepPlan struct {
-	t       *target
-	key     string
-	shards  [][]int
-	resumed map[string]*api.ShardReport // by dotted shard id
-	workers []string
+	t         *target
+	key       string
+	shards    [][]int
+	resumed   map[string]*api.ShardReport // by shard id
+	workers   []string
+	sym       bool
+	blockSize int
+}
+
+// shardID renders one plan entry's identifier in its scheme's canonical
+// form (dotted prefix, or "sym.lo.hi" for symmetry-reduced ranges).
+func (p *sweepPlan) shardID(shard []int) string {
+	if p.sym {
+		return api.SymShardID(shard[0], shard[1])
+	}
+	return api.ShardID(shard)
 }
 
 // newSweep registers a fresh job for plan and returns it. Callers hold no
@@ -239,10 +253,32 @@ func (s *Server) planSweep(q *api.Request, key string) (*sweepPlan, error) {
 	}
 	cc := s.cfg.Coordinator
 	slots := len(plan.workers) * cc.ShardConcurrency
-	plan.shards = permutation.PrefixShards(t.hosts, slots)
+	if q.SymReduce {
+		// Plan orbit-range shards when the reduction provably applies to
+		// this target; otherwise fall back to the prefix partition of the
+		// full sweep (the merged result is byte-identical either way, so
+		// both plans serve the same cache key). Applicability is
+		// deterministic in (router, hosts, blockSize): identically
+		// configured workers always reach the same answer, and one that
+		// disagrees fails its shard with a fatal 400.
+		bs := symBlockSize(q, t)
+		if analysis.SymApplicable(t.router, t.hosts, bs).Applied {
+			sym, err := permutation.NewBlockSymmetry(t.hosts, bs)
+			if err != nil {
+				return nil, err
+			}
+			plan.sym, plan.blockSize = true, bs
+			for _, rg := range sym.Shards(slots) {
+				plan.shards = append(plan.shards, []int{rg[0], rg[1]})
+			}
+		}
+	}
+	if !plan.sym {
+		plan.shards = permutation.PrefixShards(t.hosts, slots)
+	}
 	if !q.NoCache {
-		for _, pfx := range plan.shards {
-			id := api.ShardID(pfx)
+		for _, sh := range plan.shards {
+			id := plan.shardID(sh)
 			body, ok := s.store.Get(store.CheckpointKey(key, id))
 			if !ok {
 				continue
@@ -278,11 +314,25 @@ func (s *Server) runSweep(sj *sweepJob, q *api.Request, plan *sweepPlan) {
 	if len(plan.workers) > 0 {
 		res, err = s.runCoordinated(ctx, sj, q, plan)
 	} else {
-		res, err = analysis.SweepExhaustiveParallelProgressCtx(ctx, plan.t.router, plan.t.hosts, q.Workers,
-			func(dt, db int) {
-				sj.tested.Add(int64(dt))
-				sj.blocked.Add(int64(db))
-			})
+		progress := func(dt, db int) {
+			sj.tested.Add(int64(dt))
+			sj.blocked.Add(int64(db))
+		}
+		if q.SymReduce {
+			// The sym engine matches the parallel engine byte-for-byte and
+			// reports orbit-scaled progress deltas, so the SSE stream still
+			// counts patterns, not representatives.
+			var stats *analysis.SymStats
+			res, stats, err = analysis.SweepExhaustiveSymParallelProgressCtx(
+				ctx, plan.t.router, plan.t.hosts, symBlockSize(q, plan.t), q.Workers, progress)
+			if err == nil && stats.Applied {
+				s.met.symSweeps.Add(1)
+			} else if err == nil {
+				s.met.symFallbacks.Add(1)
+			}
+		} else {
+			res, err = analysis.SweepExhaustiveParallelProgressCtx(ctx, plan.t.router, plan.t.hosts, q.Workers, progress)
+		}
 		if err == nil {
 			sj.shardsDone.Store(1)
 		}

@@ -17,6 +17,11 @@ tmp=$(mktemp -d)
 pids=""
 cleanup() {
 	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	# Preserve server/worker logs for CI artifact upload when asked.
+	if [ -n "${SMOKE_LOG_DIR:-}" ]; then
+		mkdir -p "$SMOKE_LOG_DIR"
+		cp "$tmp"/*.log "$tmp"/*.out "$tmp"/*.err "$SMOKE_LOG_DIR"/ 2>/dev/null || true
+	fi
 	rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Frontier smoke test over the real nbverify binary: the symmetry-reduced
+# exhaustive sweep (-sym) must print a verdict byte-identical to the full
+# engine at n=8, certify a fabric past the factorial wall (n=12, 12! =
+# 479001600 patterns) in seconds by sweeping orbit representatives only,
+# and refuse — rather than silently run a factorial sweep — when the
+# reduction cannot apply past -max-exhaustive. The in-process byte-identity
+# property tests live in internal/analysis and internal/server; this
+# script proves the flag and its output contract end to end.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+cleanup() {
+	if [ -n "${SMOKE_LOG_DIR:-}" ]; then
+		mkdir -p "$SMOKE_LOG_DIR"
+		cp "$tmp"/*.out "$tmp"/*.raw "$SMOKE_LOG_DIR"/ 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$tmp/nbverify" ./cmd/nbverify
+
+# n=8 spray: full engine vs -sym, byte-for-byte after dropping the
+# `symmetry:` status line (the only line the reduced engine adds).
+"$tmp/nbverify" -n 2 -m 2 -r 4 -routing spray -max-exhaustive 8 >"$tmp/full.out"
+"$tmp/nbverify" -n 2 -m 2 -r 4 -routing spray -max-exhaustive 8 -sym >"$tmp/sym.raw"
+grep -v '^symmetry:' "$tmp/sym.raw" >"$tmp/sym.out"
+if ! diff -u "$tmp/full.out" "$tmp/sym.out"; then
+	echo "frontier-smoke: -sym verdict differs from the full engine at n=8" >&2
+	exit 1
+fi
+if ! grep -q '^symmetry: [0-9]* orbit representatives' "$tmp/sym.raw"; then
+	echo "frontier-smoke: reduction did not engage at n=8:" >&2
+	cat "$tmp/sym.raw" >&2
+	exit 1
+fi
+
+# Past the wall: 12 hosts with the default -max-exhaustive 9. The orbit
+# counts and the verdict are pinned — they are exact certificates, so any
+# drift is a bug, not noise.
+"$tmp/nbverify" -n 4 -m 8 -r 3 -routing spray -sym >"$tmp/n12.out"
+if ! grep -q '^symmetry: 8919 orbit representatives for 479001600 patterns (group order 82944)$' "$tmp/n12.out"; then
+	echo "frontier-smoke: n=12 orbit enumeration drifted:" >&2
+	cat "$tmp/n12.out" >&2
+	exit 1
+fi
+if ! grep -q '^verdict: BLOCKING — 476554752 of 479001600 exhaustive patterns contended$' "$tmp/n12.out"; then
+	echo "frontier-smoke: n=12 verdict drifted:" >&2
+	cat "$tmp/n12.out" >&2
+	exit 1
+fi
+
+# Where the reduction cannot apply (pattern-dependent adaptive routing),
+# past the wall must be an error, never a silent 12! sweep.
+if "$tmp/nbverify" -n 4 -m 8 -r 3 -routing adaptive -sym >"$tmp/bad.out" 2>&1; then
+	echo "frontier-smoke: inapplicable -sym past the wall did not error" >&2
+	cat "$tmp/bad.out" >&2
+	exit 1
+fi
+if ! grep -q 'symmetry reduction not applicable' "$tmp/bad.out"; then
+	echo "frontier-smoke: wrong error for inapplicable -sym:" >&2
+	cat "$tmp/bad.out" >&2
+	exit 1
+fi
+
+echo "frontier-smoke: -sym matches the full engine at n=8 and certifies n=12"
+grep '^symmetry:' "$tmp/n12.out"
