@@ -11,7 +11,7 @@ RACE_PKGS ?= ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal
 FUZZTIME ?= 30s
 FUZZ_TARGETS := ./internal/routing/:FuzzEdgeColorBipartite ./internal/routing/:FuzzBenesLooping ./internal/routing/:FuzzRouteTableParity ./internal/permutation/:FuzzCanonicalParity
 
-.PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke batch-smoke coordinator-smoke frontier-smoke report tables examples clean
+.PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke batch-smoke coordinator-smoke frontier-smoke design-smoke report tables examples clean
 
 all: build test
 
@@ -45,6 +45,14 @@ frontier-smoke:
 	$(GO) test ./internal/analysis/ -count=1 -run 'TestSweepExhaustiveSym|TestSym|TestSweepSymShard'
 	$(GO) test ./internal/server/ -count=1 -run 'TestSym|TestCoordinatedSym'
 	GO="$(GO)" ./scripts/frontier_smoke.sh
+
+# Design-explorer smoke: the planner property tests (binary search ==
+# linear scan, certificate replays through a live /v1/verify, no-prune
+# frontier equality), then nbdesign on the pinned catalog diffed against
+# the committed golden frontier — locally and through /v1/design.
+design-smoke:
+	$(GO) test ./internal/design/ -count=1
+	GO="$(GO)" ./scripts/design_smoke.sh
 
 race:
 	$(GO) test -race $(RACE_PKGS)

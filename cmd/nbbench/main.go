@@ -7,7 +7,9 @@
 // exhaustive verification sweeps (the flat-array contention-accounting hot
 // path), the incremental delta sweep over a precomputed route table, the
 // full-load open-loop run (the dense event core hot path), and a 4-trial
-// closed-loop driver pass.
+// closed-loop driver pass. DesignPlanCatalog additionally gates the
+// nbdesign planner hot path (enumeration, closed forms, dominance pruning,
+// monotone group searches) against a stub verifier.
 //
 // Usage:
 //
@@ -26,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +39,8 @@ import (
 	"testing"
 
 	fclos "repro"
+	"repro/internal/api"
+	"repro/internal/store"
 )
 
 // benchSchemaVersion identifies the BENCH_sim.json layout; bump on any
@@ -252,6 +257,69 @@ func buildBenchmarks() ([]benchmark, error) {
 				}
 			},
 			met: map[string]float64{"total_makespan": float64(makespan)},
+		})
+	}
+
+	// DesignPlanCatalog: the nbdesign three-tier planner — enumeration,
+	// cost-ascending sort, closed-form decisions, dominance pruning, and
+	// the monotone group binary searches with their probe memo — over a
+	// 576-candidate ftree catalog. Probes answer from a closed-form stub
+	// (nonblocking iff m ≥ n·r, the verified dest-mod truth) so the
+	// benchmark times the planner itself, not the sweep engines, and every
+	// counter and allocation is deterministic.
+	{
+		cat := &fclos.DesignCatalog{
+			Families: []string{"ftree"},
+			Routers:  []string{"dest-mod", "dest-switch-mod"},
+			N:        &api.DesignRange{Min: 2, Max: 4},
+			R:        &api.DesignRange{Min: 3, Max: 8},
+			M:        &api.DesignRange{Min: 1, Max: 16},
+			Verify:   &api.DesignVerify{MaxHosts: 32, MaxExhaustive: 7, Trials: 100},
+		}
+		stub := func(_ context.Context, q *api.Request) (*api.VerifyReport, error) {
+			rep := &api.VerifyReport{Method: "lemma1-exact", Exact: true, Verdict: "blocking"}
+			if q.M >= q.N*q.R {
+				rep.Verdict = "nonblocking"
+			}
+			return rep, nil
+		}
+		plan := func() (*fclos.DesignReport, error) {
+			memo := store.NewMemory(1024)
+			defer memo.Close()
+			return fclos.PlanDesignSpace(context.Background(), cat, fclos.DesignOptions{Verify: stub, Memo: memo})
+		}
+		rep, err := plan()
+		if err != nil {
+			return nil, err
+		}
+		if rep.Candidates != 576 {
+			return nil, fmt.Errorf("design catalog drifted: %d candidates, want 576", rep.Candidates)
+		}
+		benches = append(benches, benchmark{
+			name: "DesignPlanCatalog",
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					got, err := plan()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got.Candidates != rep.Candidates || got.Tier0 != rep.Tier0 ||
+						got.Pruned != rep.Pruned || len(got.Frontier) != len(rep.Frontier) {
+						b.Fatalf("plan drifted: candidates=%d tier0=%d pruned=%d frontier=%d",
+							got.Candidates, got.Tier0, got.Pruned, len(got.Frontier))
+					}
+				}
+			},
+			met: map[string]float64{
+				"candidates":      float64(rep.Candidates),
+				"tier0":           float64(rep.Tier0),
+				"tier1":           float64(rep.Tier1),
+				"tier2":           float64(rep.Tier2),
+				"pruned":          float64(rep.Pruned),
+				"groups":          float64(rep.Groups),
+				"fresh_runs":      float64(rep.FreshRuns),
+				"frontier_points": float64(len(rep.Frontier)),
+			},
 		})
 	}
 	return benches, nil

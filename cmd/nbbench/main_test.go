@@ -126,7 +126,7 @@ func TestBuildBenchmarksConstructs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"SweepRandom", "SweepExhaustive", "SweepExhaustiveDelta", "SweepExhaustiveSymN9", "OpenLoop", "ClosedLoop4Trial"}
+	want := []string{"SweepRandom", "SweepExhaustive", "SweepExhaustiveDelta", "SweepExhaustiveSymN9", "OpenLoop", "ClosedLoop4Trial", "DesignPlanCatalog"}
 	if len(benches) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(benches), len(want))
 	}
@@ -159,6 +159,24 @@ func TestBuildBenchmarksConstructs(t *testing.T) {
 	}
 	if symBm.met["orbits"] != 443 || symBm.met["patterns"] != 362880 || symBm.met["group_order"] != 1296 {
 		t.Fatalf("sym benchmark metrics drifted: %+v", symBm.met)
+	}
+	// The design-planner setup run must have exercised all three tiers of
+	// machinery (closed forms, group searches with stub probes, pruning)
+	// over the pinned catalog — a tier-2-free plan would time only the
+	// enumerator.
+	var designBm benchmark
+	for _, bm := range benches {
+		if bm.name == "DesignPlanCatalog" {
+			designBm = bm
+		}
+	}
+	if designBm.met["candidates"] != 576 {
+		t.Fatalf("design benchmark catalog drifted: %+v", designBm.met)
+	}
+	for _, k := range []string{"tier0", "tier2", "pruned", "groups", "fresh_runs", "frontier_points"} {
+		if designBm.met[k] <= 0 {
+			t.Fatalf("design benchmark %s = %v, want > 0 (metrics %+v)", k, designBm.met[k], designBm.met)
+		}
 	}
 }
 

@@ -31,9 +31,11 @@ package fclos
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/api"
 	"repro/internal/conditions"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/design"
 	"repro/internal/permutation"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -597,4 +599,36 @@ var (
 	NewRearrangeableSystem = core.NewRearrangeableSystem
 	// Plan enumerates nonblocking designs for a switch radix.
 	Plan = core.Plan
+)
+
+// ---------------------------------------------------------------------------
+// Design-space explorer (nbdesign)
+// ---------------------------------------------------------------------------
+
+// Explorer types; see internal/api (the JSON schema shared with
+// POST /v1/design) and internal/design (the planner).
+type (
+	// DesignCatalog is the axes of the (family × n × m × r × router) grid.
+	DesignCatalog = api.DesignCatalog
+	// DesignReport is the planner output: tier counters plus the Pareto
+	// frontier of cost versus guarantee, each point with a certificate.
+	DesignReport = api.DesignReport
+	// DesignFrontierPoint is one decided candidate on the frontier.
+	DesignFrontierPoint = api.DesignPoint
+	// DesignOptions configures a PlanDesignSpace run (tier-2 verifier,
+	// probe memo, pruning toggle).
+	DesignOptions = design.Options
+)
+
+// Explorer entry points; see internal/design.
+var (
+	// PlanDesignSpace enumerates a catalog and decides every candidate
+	// through the three-tier planner (closed forms, monotone binary search
+	// plus dominance pruning, memoized verification sweeps).
+	PlanDesignSpace = design.Plan
+	// ValidateDesignCatalog rejects malformed catalogs before enumeration.
+	ValidateDesignCatalog = design.ValidateCatalog
+	// ReplayDesignCondition re-derives a frontier point's tier-0 condition
+	// and checks its certificate's structural consistency.
+	ReplayDesignCondition = design.ReplayCondition
 )

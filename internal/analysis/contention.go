@@ -431,13 +431,21 @@ func sweepRandom(ctx context.Context, r routing.Router, hosts, trials int, seed 
 		}
 		return res, nil
 	}
+	// One pattern and one scratch serve every random trial: test never
+	// retains its argument (FirstBlocked is a clone), so refilling in
+	// place keeps the per-trial loop allocation-free while consuming rng
+	// exactly as the allocating generators would.
+	p := permutation.New(hosts)
+	scratch := permutation.NewPatternScratch(hosts)
 	for i := 0; i < trials; i++ {
-		if !test(permutation.Random(rng, hosts)) {
+		permutation.RandomInto(rng, p)
+		if !test(p) {
 			return finish()
 		}
 	}
 	for i := 0; i < trials/2; i++ {
-		if !test(permutation.RandomPartial(rng, hosts, 0.25+rng.Float64()/2)) {
+		permutation.RandomPartialInto(rng, p, 0.25+rng.Float64()/2, scratch)
+		if !test(p) {
 			return finish()
 		}
 	}

@@ -3,9 +3,11 @@ package analysis
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/permutation"
 	"repro/internal/routing"
+	"repro/internal/topology"
 )
 
 // Symmetry-reduced exhaustive sweeps. A folded-Clos fabric's host
@@ -195,7 +197,8 @@ func sweepSymOrbits(ctx context.Context, sym *permutation.BlockSymmetry, table *
 		if d.HasContention() {
 			res.Blocked += orbit
 			if res.FirstBlocked == nil {
-				res.FirstBlocked = rep
+				// The enumerator reuses rep between orbits; retain a copy.
+				res.FirstBlocked = rep.Clone()
 			}
 			if firstOnly {
 				return false
@@ -266,45 +269,114 @@ func symFallback(ctx context.Context, r routing.Router, hosts int, firstOnly, pa
 // all SD pairs through g permutes the per-link pair neighborhoods — the
 // exact condition for a load-transporting link bijection λ_g to exist.
 // Neighborhoods are compared as multisets of exact pair-index lists (both
-// sides built in ascending pair order, so equal sets encode equally);
-// no hashing, no false positives.
+// sides built in ascending pair order, so equal sets compare equally);
+// no hashing, no false positives. The lists live in two flat CSR buffers
+// reused across generators, so the whole certificate costs a handful of
+// allocations instead of per-link append churn.
 func routeTableEquivariant(t *routing.RouteTable, gens []*permutation.Permutation) bool {
 	hosts := t.Hosts()
+	numLinks := t.NumLinks()
+	fwd := newPairCSR(numLinks, t.Entries())
+	rel := newPairCSR(numLinks, t.Entries())
 	for _, g := range gens {
-		fwd := make([][]byte, t.NumLinks())
-		rel := make([][]byte, t.NumLinks())
-		for s := 0; s < hosts; s++ {
-			for d := 0; d < hosts; d++ {
-				if s == d {
-					continue
-				}
-				idx := s*hosts + d
-				hiB, loB := byte(idx>>8), byte(idx)
-				for _, l := range t.PairLinks(s, d) {
-					fwd[l] = append(fwd[l], hiB, loB)
-				}
-				for _, l := range t.PairLinks(g.Dst(s), g.Dst(d)) {
-					rel[l] = append(rel[l], hiB, loB)
-				}
-			}
-		}
-		counts := make(map[string]int, t.NumLinks())
-		for _, enc := range fwd {
-			counts[string(enc)]++
-		}
-		for _, enc := range rel {
-			key := string(enc)
-			if c := counts[key]; c == 1 {
-				delete(counts, key)
-			} else if c == 0 {
+		fwd.build(t, hosts, nil)
+		rel.build(t, hosts, g)
+		// Multiset equality of the per-link lists: order both sides'
+		// links by list content ((length, lex) on pair indices) and
+		// compare position by position.
+		fwd.sortByContent()
+		rel.sortByContent()
+		for k := 0; k < numLinks; k++ {
+			a := fwd.list(fwd.ord[k])
+			b := rel.list(rel.ord[k])
+			if len(a) != len(b) {
 				return false
-			} else {
-				counts[key] = c - 1
 			}
-		}
-		if len(counts) != 0 {
-			return false
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
 		}
 	}
 	return true
+}
+
+// pairCSR stores, for every link, the list of pair indices routed over it,
+// in one flat buffer with per-link offsets — the reusable scratch behind
+// routeTableEquivariant.
+type pairCSR struct {
+	off  []int32 // off[l]..off[l+1] bounds link l's list in data
+	pos  []int32 // fill cursors during build
+	data []int32 // pair indices, ascending within each link
+	ord  []int   // link indices sorted by list content
+}
+
+func newPairCSR(numLinks, entries int) *pairCSR {
+	return &pairCSR{
+		off:  make([]int32, numLinks+1),
+		pos:  make([]int32, numLinks),
+		data: make([]int32, entries),
+		ord:  make([]int, numLinks),
+	}
+}
+
+// build fills the CSR with pair index s*hosts+d appended to every link of
+// PairLinks(g(s), g(d)) (identity when g is nil), iterating pairs in
+// ascending index order so each link's list comes out sorted.
+func (c *pairCSR) build(t *routing.RouteTable, hosts int, g *permutation.Permutation) {
+	for i := range c.pos {
+		c.pos[i] = 0
+	}
+	forEachPair(t, hosts, g, func(_ int32, links []topology.LinkID) {
+		for _, l := range links {
+			c.pos[l]++
+		}
+	})
+	c.off[0] = 0
+	for l := 0; l < len(c.pos); l++ {
+		c.off[l+1] = c.off[l] + c.pos[l]
+		c.pos[l] = c.off[l]
+	}
+	forEachPair(t, hosts, g, func(idx int32, links []topology.LinkID) {
+		for _, l := range links {
+			c.data[c.pos[l]] = idx
+			c.pos[l]++
+		}
+	})
+}
+
+func forEachPair(t *routing.RouteTable, hosts int, g *permutation.Permutation, fn func(idx int32, links []topology.LinkID)) {
+	for s := 0; s < hosts; s++ {
+		for d := 0; d < hosts; d++ {
+			if s == d {
+				continue
+			}
+			rs, rd := s, d
+			if g != nil {
+				rs, rd = g.Dst(s), g.Dst(d)
+			}
+			fn(int32(s*hosts+d), t.PairLinks(rs, rd))
+		}
+	}
+}
+
+func (c *pairCSR) list(l int) []int32 { return c.data[c.off[l]:c.off[l+1]] }
+
+func (c *pairCSR) sortByContent() {
+	for i := range c.ord {
+		c.ord[i] = i
+	}
+	sort.Slice(c.ord, func(i, j int) bool {
+		a, b := c.list(c.ord[i]), c.list(c.ord[j])
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
 }

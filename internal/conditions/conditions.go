@@ -189,6 +189,15 @@ func Lemma6Spread(nums []int, n, c int) int {
 	return best
 }
 
+// UplinkPigeonholeMinM returns the routing-independent necessary
+// condition m ≥ n for ftree(n+m, r) with r ≥ 2 to be nonblocking under
+// any routing discipline, single- or multi-path: a permutation sending
+// every host of one bottom switch to another switch needs n uplinks
+// carrying one SD pair each, so with m < n two pairs share an uplink and
+// the Lemma-1 predicate fails. (For r = 1 all traffic is intra-switch and
+// m = 0 suffices; callers gate on r.)
+func UplinkPigeonholeMinM(n int) int { return n }
+
 // ClosStrictM returns the Clos 1953 strict-sense nonblocking condition for
 // the telephone environment: m ≥ 2n−1 (centralized control assumed).
 func ClosStrictM(n int) int { return 2*n - 1 }

@@ -44,6 +44,28 @@ func NonblockingFtree(n int) Design {
 	}
 }
 
+// FtreeGeneral returns the cost of an arbitrary ftree(n+m, r): r bottom
+// switches of n+m ports, m top switches of r ports, n·r host ports. The
+// building-block radix is the larger of the two switch sizes (Table I
+// always uses matched n+m = r blocks; the design explorer does not).
+// Nonblocking is left false — whether the point is nonblocking depends on
+// the routing discipline and is the planner's verdict to make.
+func FtreeGeneral(n, m, r int) (Design, error) {
+	if n < 1 || m < 1 || r < 1 {
+		return Design{}, fmt.Errorf("cost: invalid ftree(%d+%d,%d)", n, m, r)
+	}
+	radix := n + m
+	if r > radix {
+		radix = r
+	}
+	return Design{
+		Name:        fmt.Sprintf("ftree(%d+%d,%d)", n, m, r),
+		SwitchPorts: radix,
+		Switches:    r + m,
+		Ports:       n * r,
+	}, nil
+}
+
 // MPort2Tree returns the FT(N, 2) comparison row of Table I: 3N/2 N-port
 // switches supporting N²/2 ports, rearrangeably nonblocking in the
 // telephone sense but blocking under distributed control.

@@ -1,0 +1,352 @@
+// Package design implements the nbdesign explorer: an enumerator over the
+// (topology family × n × m × r × router) design space driven by a
+// three-tier verification planner.
+//
+// Tier 0 answers candidates from the paper's closed forms in package
+// conditions (Theorems 1–3 for deterministic routing, Theorem 5 for
+// NONBLOCKINGADAPTIVE, the Benes rearrangeability condition, the recursive
+// multi-level construction) as certified YES/NO without building a
+// topology. Tier 1 exploits monotonicity — nonblocking is monotone
+// non-decreasing in the top-switch count m at fixed (n, r, router) — so
+// one binary search on m decides a whole group, and dominance pruning
+// skips any candidate that is costlier and no more capable than an
+// already-decided point. Tier 2 falls through to real verification
+// (POST /v1/verify semantics: exact Lemma-1 analysis for single-path
+// routers, symmetry-reduced exhaustive sweeps for small multipath fabrics,
+// randomized sweeps beyond), memoized under the server's canonical job
+// keys so the explorer and nbserve share one result cache.
+//
+// The output is the Pareto frontier of cost versus guarantee: every point
+// carries a certificate — a closed-form citation, a monotonicity witness,
+// or a sweep result key with replayable requests — at the tier that
+// decided it.
+package design
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/cost"
+	"repro/internal/store"
+)
+
+// VerifyFunc runs one verification probe (the semantics of POST
+// /v1/verify). Implementations return ErrInfeasible (wrapped or bare) for
+// candidates whose router cannot be constructed at the probed point —
+// e.g. the Theorem-3 scheme below m = n² — which the planner treats as
+// "not nonblocking here", never as a fatal error.
+type VerifyFunc func(ctx context.Context, q *api.Request) (*api.VerifyReport, error)
+
+// ErrInfeasible marks a probe that failed because the candidate cannot be
+// built (router constructor rejected the parameters), as opposed to an
+// execution failure.
+var ErrInfeasible = errors.New("design: candidate not constructible at this point")
+
+// Options configures a Plan run.
+type Options struct {
+	// Verify executes tier-2 probes. Nil disables tier 2: candidates the
+	// closed forms cannot decide get conservative rearrangeable-only
+	// certificates.
+	Verify VerifyFunc
+	// Memo caches probe results under the canonical /v1/verify keys.
+	// Passing the server's result store makes the explorer and nbserve
+	// share one cache. Nil runs without memoization.
+	Memo store.Store
+	// NoPrune disables tier 1 (the monotone binary search and dominance
+	// pruning): every closed-form-undecidable candidate is verified
+	// individually. The frontier is identical either way; the flag exists
+	// to measure what the planner saves.
+	NoPrune bool
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Tier-2 budget defaults (DesignVerify zero values).
+const (
+	defaultMaxHosts      = 48
+	defaultMaxExhaustive = 8
+	defaultTrials        = 200
+	defaultSeed          = 1
+)
+
+// maxCatalogCandidates bounds the enumerated grid so a hostile
+// /v1/design body cannot allocate without limit.
+const maxCatalogCandidates = 1 << 20
+
+// Axis defaults when the catalog leaves a range nil.
+var (
+	defaultN      = api.DesignRange{Min: 2, Max: 4}
+	defaultR      = api.DesignRange{Min: 3, Max: 9}
+	defaultM      = api.DesignRange{Min: 1, Max: 16}
+	defaultPorts  = api.DesignRange{Min: 4, Max: 8}
+	defaultLevels = api.DesignRange{Min: 2, Max: 3}
+)
+
+// Router vocabularies per family. The concrete ftree names are exactly
+// the /v1/verify routing names; "deterministic" and "adaptive" are the
+// closed-form disciplines of Theorems 1–3 and 5.
+var (
+	ftreeConcreteRouters = map[string]bool{
+		"paper": true, "paper-folded": true, "dest-mod": true,
+		"source-mod": true, "dest-switch-mod": true, "random-fixed": true,
+		"adaptive": true, "greedy-local": true, "global": true, "spray": true,
+	}
+	abstractRouters = map[string]bool{"deterministic": true, "adaptive": true}
+	mntRouters      = map[string]bool{"mnt-dest-mod": true, "mnt-random": true}
+)
+
+func knownFamily(f string) bool {
+	switch f {
+	case "ftree", "xgft", "mnt", "multilevel":
+		return true
+	}
+	return false
+}
+
+// resolvedVerify fills the DesignVerify defaults.
+func resolvedVerify(cat *api.DesignCatalog) api.DesignVerify {
+	var v api.DesignVerify
+	if cat.Verify != nil {
+		v = *cat.Verify
+	}
+	if v.MaxHosts == 0 {
+		v.MaxHosts = defaultMaxHosts
+	}
+	if v.MaxExhaustive == 0 {
+		v.MaxExhaustive = defaultMaxExhaustive
+	}
+	if v.Trials == 0 {
+		v.Trials = defaultTrials
+	}
+	if v.Seed == 0 {
+		v.Seed = defaultSeed
+	}
+	return v
+}
+
+func axis(r *api.DesignRange, def api.DesignRange) api.DesignRange {
+	if r == nil {
+		return def
+	}
+	return *r
+}
+
+func axisLen(r api.DesignRange) int { return r.Max - r.Min + 1 }
+
+// ValidateCatalog rejects malformed catalogs before any enumeration.
+func ValidateCatalog(cat *api.DesignCatalog) error {
+	if len(cat.Families) == 0 {
+		return fmt.Errorf("design: catalog names no families")
+	}
+	seen := map[string]bool{}
+	for _, f := range cat.Families {
+		if !knownFamily(f) {
+			return fmt.Errorf("design: unknown family %q (ftree | xgft | mnt | multilevel)", f)
+		}
+		if seen[f] {
+			return fmt.Errorf("design: family %q listed twice", f)
+		}
+		seen[f] = true
+	}
+	for _, rt := range cat.Routers {
+		if !ftreeConcreteRouters[rt] && !abstractRouters[rt] && !mntRouters[rt] {
+			return fmt.Errorf("design: unknown router %q", rt)
+		}
+	}
+	for _, ax := range []struct {
+		name     string
+		r        api.DesignRange
+		min, max int
+	}{
+		{"n", axis(cat.N, defaultN), 1, 64},
+		{"r", axis(cat.R, defaultR), 2, 1 << 16},
+		{"m", axis(cat.M, defaultM), 1, 1 << 16},
+		{"ports", axis(cat.Ports, defaultPorts), 2, 1 << 16},
+		{"levels", axis(cat.Levels, defaultLevels), 2, 8},
+	} {
+		if ax.r.Min < ax.min || ax.r.Max > ax.max || ax.r.Max < ax.r.Min {
+			return fmt.Errorf("design: %s range [%d, %d] outside [%d, %d] or empty",
+				ax.name, ax.r.Min, ax.r.Max, ax.min, ax.max)
+		}
+	}
+	if cat.MinHosts < 0 {
+		return fmt.Errorf("design: min_hosts must be >= 0 (have %d)", cat.MinHosts)
+	}
+	if cat.Verify != nil {
+		for _, p := range []struct {
+			name string
+			v    int
+		}{
+			{"max_hosts", cat.Verify.MaxHosts}, {"max_exhaustive", cat.Verify.MaxExhaustive},
+			{"trials", cat.Verify.Trials},
+		} {
+			if p.v < 0 {
+				return fmt.Errorf("design: verify.%s must be >= 0 (have %d)", p.name, p.v)
+			}
+		}
+		if cat.Verify.Seed < 0 {
+			return fmt.Errorf("design: verify.seed must be >= 0 (have %d)", cat.Verify.Seed)
+		}
+	}
+	if g := gridSize(cat); g > maxCatalogCandidates {
+		return fmt.Errorf("design: catalog enumerates %d candidates, limit %d", g, maxCatalogCandidates)
+	}
+	return nil
+}
+
+// gridSize upper-bounds the candidate count without enumerating.
+func gridSize(cat *api.DesignCatalog) int {
+	n, r, m := axis(cat.N, defaultN), axis(cat.R, defaultR), axis(cat.M, defaultM)
+	ports, levels := axis(cat.Ports, defaultPorts), axis(cat.Levels, defaultLevels)
+	nf, na, nm := routersFor(cat)
+	total := 0
+	for _, f := range cat.Families {
+		switch f {
+		case "ftree":
+			total += axisLen(n) * axisLen(r) * axisLen(m) * len(nf)
+		case "xgft":
+			total += axisLen(n) * axisLen(r) * axisLen(m) * len(na)
+		case "mnt":
+			total += axisLen(ports) * axisLen(levels) * len(nm)
+		case "multilevel":
+			total += axisLen(n) * axisLen(levels)
+		}
+		if total > maxCatalogCandidates {
+			return total
+		}
+	}
+	return total
+}
+
+// routersFor splits the catalog's router list into the per-family
+// selections (ftree gets concrete and abstract names, xgft abstract only,
+// mnt its own), with defaults when a family would otherwise get none.
+func routersFor(cat *api.DesignCatalog) (ftree, xgft, mnt []string) {
+	for _, rt := range cat.Routers {
+		if ftreeConcreteRouters[rt] || abstractRouters[rt] {
+			ftree = append(ftree, rt)
+		}
+		if abstractRouters[rt] {
+			xgft = append(xgft, rt)
+		}
+		if mntRouters[rt] {
+			mnt = append(mnt, rt)
+		}
+	}
+	if len(ftree) == 0 {
+		ftree = []string{"deterministic"}
+	}
+	if len(xgft) == 0 {
+		xgft = []string{"deterministic"}
+	}
+	if len(mnt) == 0 {
+		mnt = []string{"mnt-dest-mod"}
+	}
+	return ftree, xgft, mnt
+}
+
+// candidate is one enumerated design point in flight through the planner.
+type candidate struct {
+	pt      api.DesignPoint
+	idx     int // enumeration order, the deterministic tiebreak
+	decided bool
+	pruned  bool
+}
+
+// enumerate expands the catalog grid into candidates with identity and
+// cost filled (pure arithmetic — no topology is built). Order is
+// deterministic: families as listed, then router, n, r/ports/levels, m.
+func enumerate(cat *api.DesignCatalog) ([]*candidate, error) {
+	nAx, rAx, mAx := axis(cat.N, defaultN), axis(cat.R, defaultR), axis(cat.M, defaultM)
+	portsAx, levelsAx := axis(cat.Ports, defaultPorts), axis(cat.Levels, defaultLevels)
+	ftreeR, xgftR, mntR := routersFor(cat)
+
+	var cands []*candidate
+	add := func(pt api.DesignPoint) {
+		if pt.Hosts < cat.MinHosts {
+			return
+		}
+		cands = append(cands, &candidate{pt: pt, idx: len(cands)})
+	}
+	for _, fam := range cat.Families {
+		switch fam {
+		case "ftree", "xgft":
+			routers := ftreeR
+			if fam == "xgft" {
+				routers = xgftR
+			}
+			for _, rt := range routers {
+				for n := nAx.Min; n <= nAx.Max; n++ {
+					for r := rAx.Min; r <= rAx.Max; r++ {
+						for m := mAx.Min; m <= mAx.Max; m++ {
+							d, err := cost.FtreeGeneral(n, m, r)
+							if err != nil {
+								return nil, err
+							}
+							name := d.Name
+							if fam == "xgft" {
+								// XGFT(2; n, r; 1, m) is the paper's
+								// ftree(n+m, r) in Öhring's notation.
+								name = fmt.Sprintf("XGFT(2;%d,%d;1,%d)", n, r, m)
+							}
+							add(api.DesignPoint{
+								Family: fam, Name: name + "/" + rt,
+								N: n, M: m, R: r, Router: rt,
+								SwitchPorts: d.SwitchPorts, Switches: d.Switches,
+								Hosts: d.Ports, CostPerPort: d.CostPerPort(),
+							})
+						}
+					}
+				}
+			}
+		case "mnt":
+			for _, rt := range mntR {
+				for ports := portsAx.Min; ports <= portsAx.Max; ports++ {
+					if ports%2 != 0 {
+						continue // FT(N, l) needs even N
+					}
+					for l := levelsAx.Min; l <= levelsAx.Max; l++ {
+						d, err := cost.MPortNTreeDesign(ports, l)
+						if err != nil {
+							return nil, err
+						}
+						add(api.DesignPoint{
+							Family: "mnt", Name: d.Name + "/" + rt,
+							Ports: ports, Levels: l, Router: rt,
+							SwitchPorts: d.SwitchPorts, Switches: d.Switches,
+							Hosts: d.Ports, CostPerPort: d.CostPerPort(),
+						})
+					}
+				}
+			}
+		case "multilevel":
+			for n := nAx.Min; n <= nAx.Max; n++ {
+				for l := levelsAx.Min; l <= levelsAx.Max; l++ {
+					d := cost.MultiLevelNonblocking(n, l)
+					add(api.DesignPoint{
+						Family: "multilevel", Name: d.Name + "/recursive",
+						N: n, Levels: l, Router: "recursive",
+						SwitchPorts: d.SwitchPorts, Switches: d.Switches,
+						Hosts: d.Ports, CostPerPort: d.CostPerPort(),
+					})
+				}
+			}
+		}
+	}
+	return cands, nil
+}
+
+// guaranteeName maps a level to its report string.
+func guaranteeName(level int) string {
+	switch level {
+	case 3:
+		return "nonblocking"
+	case 2:
+		return "empirical"
+	case 1:
+		return "rearrangeable"
+	}
+	return "none"
+}

@@ -1,0 +1,613 @@
+package design
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/api"
+	"repro/internal/conditions"
+)
+
+// pairRouterNames lists the single-path deterministic routings, for which
+// mode auto runs the exact Lemma-1 analysis at any size. Multipath
+// routers get an exact verdict only from an exhaustive sweep (hosts ≤
+// max_exhaustive); beyond that the randomized engine's verdict is
+// empirical. This mirrors runVerify's engine selection.
+var pairRouterNames = map[string]bool{
+	"paper": true, "paper-folded": true, "dest-mod": true, "source-mod": true,
+	"dest-switch-mod": true, "random-fixed": true,
+	"mnt-dest-mod": true, "mnt-random": true,
+}
+
+// groupKey identifies one monotone family: fixed (n, r, router) on ftree,
+// with m the searched dimension.
+type groupKey struct {
+	n, r   int
+	router string
+}
+
+// group is the result of one tier-1 binary search: the smallest m in
+// [n, hiTop] whose probe verdict is nonblocking (minM = hiTop+1 when the
+// whole domain is blocking), the guarantee level that verdict certifies,
+// and the boundary replays.
+type group struct {
+	hiTop  int
+	minM   int
+	level  int
+	upper  *api.DesignReplay // probe at minM
+	lower  *api.DesignReplay // probe at minM−1 (nil when minM = n: pigeonhole)
+	upKey  string
+	freshM map[int]bool // m values freshly verified by this search
+}
+
+type planner struct {
+	cat  *api.DesignCatalog
+	v    api.DesignVerify
+	opts Options
+	rep  *api.DesignReport
+
+	groups map[groupKey]*group
+	// doms holds decided points with level ≥ 2, the only ones that can
+	// dominance-prune an undecided candidate. Processing is in ascending
+	// cost order, so every member already costs no more than the
+	// candidate under test.
+	doms []*candidate
+}
+
+// Plan enumerates the catalog and decides every candidate through the
+// three-tier planner, returning the effectiveness counters and the Pareto
+// frontier. The report is deterministic for a fixed catalog and options.
+func Plan(ctx context.Context, cat *api.DesignCatalog, opts Options) (*api.DesignReport, error) {
+	if err := ValidateCatalog(cat); err != nil {
+		return nil, err
+	}
+	cands, err := enumerate(cat)
+	if err != nil {
+		return nil, err
+	}
+	p := &planner{
+		cat: cat, v: resolvedVerify(cat), opts: opts,
+		rep:    &api.DesignReport{Candidates: len(cands)},
+		groups: make(map[groupKey]*group),
+	}
+	// Cost-ascending processing order: cheaper points decide first so the
+	// dominance check only ever looks backwards. Ties break by host count
+	// (bigger first, so it can dominate same-cost smaller points) and
+	// then by enumeration order, keeping the whole run deterministic.
+	order := make([]*candidate, len(cands))
+	copy(order, cands)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.pt.CostPerPort != b.pt.CostPerPort {
+			return a.pt.CostPerPort < b.pt.CostPerPort
+		}
+		if a.pt.Hosts != b.pt.Hosts {
+			return a.pt.Hosts > b.pt.Hosts
+		}
+		return a.idx < b.idx
+	})
+	for i, c := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := p.decide(ctx, c); err != nil {
+			return nil, err
+		}
+		if opts.Logf != nil && (i+1)%2000 == 0 {
+			opts.Logf("design: %d/%d candidates decided (%d fresh runs)", i+1, len(order), p.rep.FreshRuns)
+		}
+	}
+	p.rep.Frontier = frontier(order)
+	return p.rep, nil
+}
+
+// frontier keeps the non-dominated decided points of the cost-ascending
+// order: a point is dropped when an already-kept point has hosts ≥ and
+// level ≥ (its cost is ≤ by the iteration order). Non-strict comparison
+// makes the first of an exact tie win, so the result is deterministic —
+// and identical with or without pruning, because a pruned candidate's
+// dominator satisfies the same inequalities its own entry would have to
+// beat.
+func frontier(order []*candidate) []api.DesignPoint {
+	var kept []*candidate
+	for _, c := range order {
+		if !c.decided || c.pruned {
+			continue
+		}
+		dominated := false
+		for _, k := range kept {
+			if k.pt.Hosts >= c.pt.Hosts && k.pt.Level >= c.pt.Level {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, c)
+		}
+	}
+	pts := make([]api.DesignPoint, len(kept))
+	for i, c := range kept {
+		pts[i] = c.pt
+	}
+	return pts
+}
+
+// settle finalizes a candidate's decision and updates the tier counters.
+func (p *planner) settle(c *candidate, tier, level int, cert api.DesignCertificate) {
+	cert.Tier = tier
+	c.pt.Level = level
+	c.pt.Guarantee = guaranteeName(level)
+	c.pt.Certificate = cert
+	c.decided = true
+	switch tier {
+	case 0:
+		p.rep.Tier0++
+	case 1:
+		p.rep.Tier1++
+	default:
+		p.rep.Tier2++
+	}
+	if level >= 2 && !c.pruned {
+		p.doms = append(p.doms, c)
+	}
+}
+
+// optimisticLevel is the best guarantee a not-yet-verified candidate
+// could still reach: 3 when an exact engine applies (single-path router,
+// or a fabric small enough for an exhaustive sweep), 2 when only the
+// randomized engine would run.
+func (p *planner) optimisticLevel(c *candidate) int {
+	if pairRouterNames[c.pt.Router] || c.pt.Hosts <= p.v.MaxExhaustive {
+		return 3
+	}
+	return 2
+}
+
+// decide runs one candidate through the tiers.
+func (p *planner) decide(ctx context.Context, c *candidate) error {
+	if p.tier0(c) {
+		return nil
+	}
+	// Tier 1a: dominance. A decided point with cost ≤, hosts ≥, and level
+	// ≥ everything this candidate could achieve keeps it off the frontier
+	// no matter how verification would come out — skip the verification.
+	if !p.opts.NoPrune {
+		opt := p.optimisticLevel(c)
+		for _, d := range p.doms {
+			if d.pt.Hosts >= c.pt.Hosts && d.pt.Level >= opt {
+				c.pruned = true
+				p.rep.Pruned++
+				p.settle(c, 1, 0, api.DesignCertificate{
+					Condition: "dominated",
+					Citation:  fmt.Sprintf("dominated by %s (cost %.4f, %d hosts, level %d)", d.pt.Name, d.pt.CostPerPort, d.pt.Hosts, d.pt.Level),
+				})
+				return nil
+			}
+		}
+	}
+	switch c.pt.Family {
+	case "ftree":
+		return p.decideFtreeVerified(ctx, c)
+	case "mnt":
+		return p.decideMnt(ctx, c)
+	}
+	// xgft and multilevel are always decided at tier 0.
+	return fmt.Errorf("design: internal: %s candidate %s fell through tier 0", c.pt.Family, c.pt.Name)
+}
+
+// tier0 decides a candidate from closed forms alone. Returns false when
+// the candidate needs verification.
+func (p *planner) tier0(c *candidate) bool {
+	n, m, r := c.pt.N, c.pt.M, c.pt.R
+	switch c.pt.Family {
+	case "multilevel":
+		p.settle(c, 0, 3, api.DesignCertificate{
+			Condition: "multilevel-recursive",
+			Citation:  "Discussion: recursive replacement of top-level switches with two-level nonblocking ftrees stays nonblocking at every scale",
+		})
+		return true
+	case "mnt":
+		// The telephone-sense floor is free; whether a sweep can say more
+		// is tier 2's business.
+		if !p.eligible(c.pt.Hosts) {
+			p.settle(c, 0, 1, api.DesignCertificate{
+				Condition: "mnt-rearrangeable",
+				Citation:  "FT(N, l) is rearrangeably nonblocking in the telephone sense (Table I) but blocking under distributed control",
+			})
+			return true
+		}
+		return false
+	}
+	// ftree and xgft share the closed forms: XGFT(2; n, r; 1, m) is
+	// ftree(n+m, r) in Öhring's notation.
+	switch c.pt.Router {
+	case "deterministic":
+		p.settleDeterministic(c)
+		return true
+	case "adaptive":
+		if n < 2 {
+			// n = 1: one host per switch; m ≥ 1 deterministic routing is
+			// already nonblocking, and SmallestC is undefined.
+			p.settleDeterministic(c)
+			return true
+		}
+		cDigits := conditions.SmallestC(n, r)
+		if m >= conditions.AdaptiveTheorem5M(n, cDigits) {
+			p.settle(c, 0, 3, api.DesignCertificate{
+				Condition: "adaptive-theorem5",
+				Citation:  fmt.Sprintf("Theorem 5: NONBLOCKINGADAPTIVE is nonblocking with m ≥ T(n)·(c+1)·n = %d (c = %d)", conditions.AdaptiveTheorem5M(n, cDigits), cDigits),
+			})
+			return true
+		}
+		if m < conditions.UplinkPigeonholeMinM(n) {
+			p.settlePigeonhole(c)
+			return true
+		}
+		// The band between n and the Theorem-5 budget stays closed-form:
+		// a sweep cannot decide it, because NONBLOCKINGADAPTIVE's planner
+		// errors (rather than producing a contended assignment) on
+		// patterns whose configuration need exceeds m.
+		p.settle(c, 0, 1, api.DesignCertificate{
+			Condition: "adaptive-band-rearrangeable",
+			Citation:  "below the Theorem-5 budget no closed form decides NONBLOCKINGADAPTIVE; certified rearrangeable only (Benes 1962, m ≥ n)",
+		})
+		return true
+	case "paper":
+		// The Theorem-3 scheme is the construction behind Theorem 2: it
+		// exists exactly when m ≥ n², so this router never needs a sweep.
+		if m >= conditions.DeterministicMinM(n) {
+			p.settle(c, 0, 3, api.DesignCertificate{
+				Condition: "paper-theorem3",
+				Citation:  "Theorem 3: route (v,i)→(w,j) through top switch i·n+j; nonblocking for every permutation when m ≥ n²",
+			})
+			return true
+		}
+		if m < conditions.UplinkPigeonholeMinM(n) {
+			p.settlePigeonhole(c)
+			return true
+		}
+		p.settle(c, 0, 1, api.DesignCertificate{
+			Condition: "rearrangeable-benes",
+			Citation:  "Theorem-3 scheme needs m ≥ n²; below it the fabric is certified rearrangeable only (Benes 1962, m ≥ n)",
+		})
+		return true
+	case "paper-folded":
+		if m >= conditions.DeterministicMinM(n) {
+			// Folding modulo m is the identity when m ≥ n²: same scheme,
+			// same Theorem-3 guarantee.
+			p.settle(c, 0, 3, api.DesignCertificate{
+				Condition: "paper-theorem3",
+				Citation:  "Theorem 3: with m ≥ n² the folded scheme equals the (i,j) ↦ i·n+j assignment, nonblocking for every permutation",
+			})
+			return true
+		}
+	}
+	// Concrete routers below their closed-form regime.
+	if m < conditions.UplinkPigeonholeMinM(n) {
+		p.settlePigeonhole(c)
+		return true
+	}
+	if !p.eligible(c.pt.Hosts) {
+		p.settle(c, 0, 1, api.DesignCertificate{
+			Condition: "verify-out-of-range",
+			Citation:  fmt.Sprintf("%d hosts exceed the tier-2 budget (max_hosts %d); certified rearrangeable only (Benes 1962, m ≥ n)", c.pt.Hosts, p.v.MaxHosts),
+		})
+		return true
+	}
+	return false
+}
+
+// settleDeterministic applies Theorems 1–3 to the abstract single-path
+// deterministic discipline.
+func (p *planner) settleDeterministic(c *candidate) {
+	n, m, r := c.pt.N, c.pt.M, c.pt.R
+	switch {
+	case m >= conditions.DeterministicMinM(n):
+		p.settle(c, 0, 3, api.DesignCertificate{
+			Condition: "det-theorem2",
+			Citation:  fmt.Sprintf("Theorem 2: m ≥ n² = %d suffices for single-path deterministic routing (construction: Theorem 3)", conditions.DeterministicMinM(n)),
+		})
+	case !conditions.IsDeterministicNonblockingFeasible(n, m, r):
+		if m < conditions.UplinkPigeonholeMinM(n) {
+			p.settlePigeonhole(c)
+			return
+		}
+		p.settle(c, 0, 1, api.DesignCertificate{
+			Condition: "det-theorem1-infeasible",
+			Citation:  "Theorems 1–3: no single-path deterministic routing is nonblocking at this m; certified rearrangeable only (Benes 1962, m ≥ n)",
+		})
+	default:
+		// r < 2n+1 band: above the Theorem-1 necessary bound
+		// ⌈(r−1)n/2⌉ but below the n² construction — feasibility open.
+		p.settle(c, 0, 1, api.DesignCertificate{
+			Condition: "det-small-r-band",
+			Citation:  fmt.Sprintf("Theorem 1 admits m ≥ ⌈(r−1)n/2⌉ = %d for r < 2n+1, but no construction below n² is known; certified rearrangeable only", conditions.SmallTopMinM(n, r)),
+		})
+	}
+}
+
+func (p *planner) settlePigeonhole(c *candidate) {
+	p.settle(c, 0, 0, api.DesignCertificate{
+		Condition: "uplink-pigeonhole",
+		Citation:  fmt.Sprintf("m = %d < n = %d: a cross-switch permutation loads some uplink with two SD pairs under any routing", c.pt.M, c.pt.N),
+	})
+}
+
+// eligible reports whether a fabric of this size fits the tier-2 budget.
+func (p *planner) eligible(hosts int) bool {
+	return p.opts.Verify != nil && hosts <= p.v.MaxHosts
+}
+
+// shortcutMin returns the m at or above which tier 0 already certifies
+// the router nonblocking, bounding the binary-search domain from above.
+// Returns 0 when no closed form applies.
+func (p *planner) shortcutMin(c *candidate) int {
+	if c.pt.Router == "paper-folded" {
+		return conditions.DeterministicMinM(c.pt.N)
+	}
+	return 0
+}
+
+// decideFtreeVerified settles a concrete-router ftree candidate by group
+// binary search (tier 1, NoPrune off) or an individual probe.
+func (p *planner) decideFtreeVerified(ctx context.Context, c *candidate) error {
+	if p.opts.NoPrune {
+		q := p.ftreeRequest(c.pt.N, c.pt.M, c.pt.R, c.pt.Router)
+		return p.settleByProbe(ctx, c, q)
+	}
+	g, err := p.groupFor(ctx, c)
+	if err != nil {
+		return err
+	}
+	m := c.pt.M
+	tier := 1
+	if g.freshM[m] {
+		tier = 2
+	}
+	switch {
+	case m >= g.minM:
+		cert := api.DesignCertificate{
+			Condition: "monotone-above-minm",
+			Citation:  fmt.Sprintf("nonblocking is monotone non-decreasing in m at fixed (n=%d, r=%d, %s); verified witness at m = %d", c.pt.N, c.pt.R, c.pt.Router, g.minM),
+			MinM:      g.minM,
+			SweepKey:  g.upKey,
+		}
+		if g.upper != nil {
+			cert.Replays = append(cert.Replays, *g.upper)
+		}
+		if g.lower != nil {
+			cert.Replays = append(cert.Replays, *g.lower)
+		}
+		p.settle(c, tier, g.level, cert)
+	case g.minM > g.hiTop:
+		cert := api.DesignCertificate{
+			Condition: "no-nonblocking-m-found",
+			Citation:  fmt.Sprintf("no m ≤ %d verified nonblocking for (n=%d, r=%d, %s); certified rearrangeable only (Benes 1962, m ≥ n)", g.hiTop, c.pt.N, c.pt.R, c.pt.Router),
+		}
+		if g.lower != nil {
+			cert.Replays = append(cert.Replays, *g.lower)
+		}
+		p.settle(c, tier, 1, cert)
+	default:
+		cert := api.DesignCertificate{
+			Condition: "monotone-below-minm",
+			Citation:  fmt.Sprintf("m = %d is below the verified minimal nonblocking m = %d for (n=%d, r=%d, %s); certified rearrangeable only", m, g.minM, c.pt.N, c.pt.R, c.pt.Router),
+			MinM:      g.minM,
+		}
+		if g.lower != nil {
+			cert.Replays = append(cert.Replays, *g.lower)
+		}
+		p.settle(c, tier, 1, cert)
+	}
+	return nil
+}
+
+// decideMnt settles an m-port n-tree candidate by one direct probe —
+// there is no m dimension to search.
+func (p *planner) decideMnt(ctx context.Context, c *candidate) error {
+	q := p.mntRequest(c.pt.Ports, c.pt.Levels, c.pt.Router)
+	return p.settleByProbe(ctx, c, q)
+}
+
+// settleByProbe verifies one candidate at its own parameters and settles
+// it from the verdict. The rearrangeable floor (level 1) holds even when
+// the probe proves the routing blocking.
+func (p *planner) settleByProbe(ctx context.Context, c *candidate, q *api.Request) error {
+	rep, key, fresh, err := p.probe(ctx, q)
+	tier := 1
+	if fresh {
+		tier = 2
+	}
+	if errors.Is(err, ErrInfeasible) {
+		p.settle(c, tier, 1, api.DesignCertificate{
+			Condition: "constructor-infeasible",
+			Citation:  "router constructor rejects these parameters; certified rearrangeable only (Benes 1962, m ≥ n)",
+		})
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	cert := api.DesignCertificate{
+		SweepKey: key,
+		Replays:  []api.DesignReplay{{Request: *q, WantVerdict: rep.Verdict, WantExact: rep.Exact}},
+	}
+	switch rep.Verdict {
+	case "nonblocking":
+		cert.Condition, cert.Citation = "verified-sweep", "exact verification: "+rep.Method
+		p.settle(c, tier, 3, cert)
+	case "no-blocking-found":
+		if rep.Exact {
+			cert.Condition, cert.Citation = "verified-sweep", "exact verification: "+rep.Method
+			p.settle(c, tier, 3, cert)
+		} else {
+			cert.Condition, cert.Citation = "verified-sweep", "randomized verification (not a proof): "+rep.Method
+			p.settle(c, tier, 2, cert)
+		}
+	default: // blocking
+		cert.Condition = "verified-blocking"
+		cert.Citation = "verification found a blocked permutation; the fabric keeps its telephone-sense rearrangeable floor (Benes 1962)"
+		p.settle(c, tier, 1, cert)
+	}
+	return nil
+}
+
+// groupFor returns (running it on first use) the monotone binary search
+// for the candidate's (n, r, router) group. The search domain is
+// [n, hiTop]: below n the pigeonhole bound already decides, and at or
+// above the router's closed-form shortcut tier 0 decides, so hiTop is the
+// catalog's m-axis top clamped below the shortcut.
+func (p *planner) groupFor(ctx context.Context, c *candidate) (*group, error) {
+	key := groupKey{n: c.pt.N, r: c.pt.R, router: c.pt.Router}
+	if g, ok := p.groups[key]; ok {
+		return g, nil
+	}
+	n, r := c.pt.N, c.pt.R
+	hiTop := axis(p.cat.M, defaultM).Max
+	if sc := p.shortcutMin(c); sc > 0 && sc-1 < hiTop {
+		hiTop = sc - 1
+	}
+	g := &group{hiTop: hiTop, freshM: make(map[int]bool)}
+	p.groups[key] = g
+	p.rep.Groups++
+	if p.opts.Logf != nil {
+		p.opts.Logf("design: group search (n=%d, r=%d, %s) over m ∈ [%d, %d]", n, r, c.pt.Router, n, hiTop)
+	}
+
+	// One probe, remembering boundary evidence for the certificates.
+	test := func(m int) (bool, error) {
+		q := p.ftreeRequest(n, m, r, c.pt.Router)
+		rep, pkey, fresh, err := p.probe(ctx, q)
+		if fresh {
+			g.freshM[m] = true
+		}
+		if errors.Is(err, ErrInfeasible) {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		replay := &api.DesignReplay{Request: *q, WantVerdict: rep.Verdict, WantExact: rep.Exact}
+		if rep.Verdict == "blocking" {
+			g.lower = replay
+			return false, nil
+		}
+		g.upper, g.upKey = replay, pkey
+		if rep.Exact {
+			g.level = 3
+		} else {
+			g.level = 2
+		}
+		return true, nil
+	}
+
+	// Binary search for the smallest nonblocking m, assuming monotonicity
+	// (the property test in design_test pins the assumption against a
+	// linear scan). Invariant: P(lo) false, P(hi) true; lo starts at n−1,
+	// false by the pigeonhole bound without a probe.
+	if hiTop < n {
+		g.minM = hiTop + 1 // empty domain: every group candidate was tier-0 decided
+		return g, nil
+	}
+	ok, err := test(hiTop)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		g.minM = hiTop + 1
+		return g, nil
+	}
+	lo, hi := n-1, hiTop
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		ok, err := test(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	g.minM = hi
+	// Re-point the boundary evidence at the boundary itself: the last
+	// true probe may not have been at hi, and the last false not at hi−1.
+	if g.upper == nil || g.upper.Request.M != g.minM {
+		if _, err := test(g.minM); err != nil {
+			return nil, err
+		}
+	}
+	if g.minM > n && (g.lower == nil || g.lower.Request.M != g.minM-1) {
+		if _, err := test(g.minM - 1); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// probe answers one verification request: shared memo first (tier-1
+// evidence), then the injected VerifyFunc (tier 2). fresh reports whether
+// a real run happened.
+func (p *planner) probe(ctx context.Context, q *api.Request) (rep *api.VerifyReport, key string, fresh bool, err error) {
+	key = q.CacheKey("verify")
+	if p.opts.Memo != nil {
+		if body, ok := p.opts.Memo.Get(key); ok {
+			rep = &api.VerifyReport{}
+			if uerr := json.Unmarshal(body, rep); uerr == nil {
+				p.rep.MemoHits++
+				return rep, key, false, nil
+			}
+			// An undecodable entry (foreign schema under a colliding key)
+			// falls through to a fresh run.
+		}
+	}
+	if p.opts.Verify == nil {
+		return nil, key, false, fmt.Errorf("design: internal: probe without a verifier")
+	}
+	rep, err = p.opts.Verify(ctx, q)
+	if err != nil {
+		return nil, key, false, err
+	}
+	p.rep.FreshRuns++
+	if p.opts.Memo != nil {
+		if body, merr := json.Marshal(rep); merr == nil {
+			p.opts.Memo.Put(key, body)
+		}
+	}
+	return rep, key, true, nil
+}
+
+// ftreeRequest builds the fully-specified verify request for one ftree
+// probe. Every normalize-filled field is set explicitly so the CacheKey
+// equals the server's canonical job key for the same point — the parity
+// is pinned by a test against server.VerifyCacheKey.
+func (p *planner) ftreeRequest(n, m, r int, router string) *api.Request {
+	return &api.Request{
+		Topo: "ftree", N: n, M: m, R: r,
+		Ports: 20, Levels: 2, // normalize parity for the unused mnt fields
+		Routing: router, Mode: "auto",
+		Trials: p.v.Trials, Seed: api.SeedPtr(p.v.Seed),
+		MaxExhaustive: p.v.MaxExhaustive,
+		Restarts:      8, Steps: 400,
+		Pattern: "random", Flits: 4, Pkts: 8, Arbiter: "round-robin",
+		SymReduce: true,
+	}
+}
+
+// mntRequest is ftreeRequest for the m-port n-tree family.
+func (p *planner) mntRequest(ports, levels int, router string) *api.Request {
+	return &api.Request{
+		Topo: "mnt", Ports: ports, Levels: levels,
+		N: 4, M: 16, R: 20, // normalize parity for the unused ftree fields
+		Routing: router, Mode: "auto",
+		Trials: p.v.Trials, Seed: api.SeedPtr(p.v.Seed),
+		MaxExhaustive: p.v.MaxExhaustive,
+		Restarts:      8, Steps: 400,
+		Pattern: "random", Flits: 4, Pkts: 8, Arbiter: "round-robin",
+		SymReduce: true,
+	}
+}

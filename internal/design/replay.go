@@ -1,0 +1,192 @@
+package design
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/conditions"
+)
+
+// ReplayCondition re-evaluates a decided point's certificate condition
+// from scratch: closed-form conditions are re-derived from the paper's
+// arithmetic in package conditions, evidence-backed conditions are
+// checked for structural consistency (the sweep replays themselves go
+// back through /v1/verify — see the frontier replay test). A nil return
+// means the certificate checks out.
+func ReplayCondition(pt *api.DesignPoint) error {
+	c := pt.Certificate
+	n, m, r := pt.N, pt.M, pt.R
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("design: %s: certificate %q does not replay: %s",
+			pt.Name, c.Condition, fmt.Sprintf(format, args...))
+	}
+	wantLevel := func(want int) error {
+		if pt.Level != want {
+			return fail("level %d, want %d", pt.Level, want)
+		}
+		return nil
+	}
+	switch c.Condition {
+	case "multilevel-recursive":
+		if pt.Family != "multilevel" {
+			return fail("family %s", pt.Family)
+		}
+		return wantLevel(3)
+	case "mnt-rearrangeable":
+		if pt.Family != "mnt" {
+			return fail("family %s", pt.Family)
+		}
+		return wantLevel(1)
+	case "det-theorem2", "paper-theorem3":
+		if m < conditions.DeterministicMinM(n) {
+			return fail("m = %d < n² = %d", m, conditions.DeterministicMinM(n))
+		}
+		return wantLevel(3)
+	case "det-theorem1-infeasible":
+		if conditions.IsDeterministicNonblockingFeasible(n, m, r) {
+			return fail("Theorems 1–3 do not exclude (n=%d, m=%d, r=%d)", n, m, r)
+		}
+		if m < conditions.UplinkPigeonholeMinM(n) {
+			return fail("m = %d < n: the pigeonhole condition applies instead", m)
+		}
+		return wantLevel(1)
+	case "det-small-r-band":
+		if r >= 2*n+1 {
+			return fail("r = %d ≥ 2n+1: the band only exists for small r", r)
+		}
+		if !conditions.IsDeterministicNonblockingFeasible(n, m, r) || m >= conditions.DeterministicMinM(n) {
+			return fail("(n=%d, m=%d, r=%d) is not in the open band", n, m, r)
+		}
+		return wantLevel(1)
+	case "adaptive-theorem5":
+		if n < 2 {
+			return fail("n = %d < 2", n)
+		}
+		need := conditions.AdaptiveTheorem5M(n, conditions.SmallestC(n, r))
+		if m < need {
+			return fail("m = %d below the Theorem-5 budget %d", m, need)
+		}
+		return wantLevel(3)
+	case "adaptive-band-rearrangeable":
+		if n < 2 {
+			return fail("n = %d < 2", n)
+		}
+		need := conditions.AdaptiveTheorem5M(n, conditions.SmallestC(n, r))
+		if m >= need || m < conditions.UplinkPigeonholeMinM(n) {
+			return fail("m = %d is not in [n, %d)", m, need)
+		}
+		return wantLevel(1)
+	case "uplink-pigeonhole":
+		if r < 2 && pt.Family != "mnt" {
+			return fail("r = %d < 2: the pigeonhole argument needs a cross-switch pair", r)
+		}
+		if m >= conditions.UplinkPigeonholeMinM(n) {
+			return fail("m = %d ≥ n = %d", m, n)
+		}
+		return wantLevel(0)
+	case "rearrangeable-benes":
+		if m < conditions.ClosRearrangeableM(n) || m >= conditions.DeterministicMinM(n) {
+			return fail("m = %d is not in [n, n²)", m)
+		}
+		return wantLevel(1)
+	case "verify-out-of-range", "constructor-infeasible", "no-nonblocking-m-found", "dominated":
+		// Conservative floors and prune markers carry no re-derivable
+		// arithmetic beyond the level they claim.
+		if c.Condition == "dominated" {
+			return nil
+		}
+		return wantLevel(1)
+	case "monotone-above-minm":
+		if c.MinM < 1 {
+			return fail("no MinM witness")
+		}
+		if m < c.MinM {
+			return fail("m = %d below the witness MinM = %d", m, c.MinM)
+		}
+		if len(c.Replays) == 0 || c.Replays[0].Request.M != c.MinM {
+			return fail("missing the MinM replay")
+		}
+		if pt.Level < 2 {
+			return fail("level %d below the verified witness level", pt.Level)
+		}
+		return nil
+	case "monotone-below-minm":
+		if c.MinM < 1 || m >= c.MinM {
+			return fail("m = %d is not below MinM = %d", m, c.MinM)
+		}
+		if m < conditions.UplinkPigeonholeMinM(n) {
+			return fail("m = %d < n: the pigeonhole condition applies instead", m)
+		}
+		return wantLevel(1)
+	case "verified-sweep":
+		if len(c.Replays) == 0 {
+			return fail("no replay")
+		}
+		rp := c.Replays[0]
+		switch rp.WantVerdict {
+		case "nonblocking":
+			return wantLevel(3)
+		case "no-blocking-found":
+			if rp.WantExact {
+				return wantLevel(3)
+			}
+			return wantLevel(2)
+		}
+		return fail("verdict %q does not support a nonblocking guarantee", rp.WantVerdict)
+	case "verified-blocking":
+		if len(c.Replays) == 0 || c.Replays[0].WantVerdict != "blocking" {
+			return fail("no blocking replay")
+		}
+		return wantLevel(1)
+	}
+	return fail("unknown condition")
+}
+
+// SearchMinM runs the planner's tier-1 binary search standalone: the
+// smallest m in [1, mMax] for which the verifier reports ftree(n+m, r)
+// nonblocking under router (mMax+1 when none is). It assumes — like the
+// planner — that nonblocking is monotone non-decreasing in m and that
+// m < n is excluded by the pigeonhole bound; the property test compares
+// it against a full linear scan to pin both assumptions.
+func SearchMinM(ctx context.Context, n, r, mMax int, router string, v api.DesignVerify, opts Options) (int, error) {
+	if opts.Verify == nil {
+		return 0, fmt.Errorf("design: SearchMinM needs a verifier")
+	}
+	p := &planner{v: v, opts: opts, rep: &api.DesignReport{}}
+	test := func(m int) (bool, error) {
+		rep, _, _, err := p.probe(ctx, p.ftreeRequest(n, m, r, router))
+		if errors.Is(err, ErrInfeasible) {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		return rep.Verdict != "blocking", nil
+	}
+	if mMax < n {
+		return mMax + 1, nil
+	}
+	ok, err := test(mMax)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return mMax + 1, nil
+	}
+	lo, hi := n-1, mMax
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		ok, err := test(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

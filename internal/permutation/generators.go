@@ -18,31 +18,85 @@ func Identity(n int) *Permutation {
 // (Fisher–Yates). Deterministic for a fixed seed.
 func Random(rng *rand.Rand, n int) *Permutation {
 	p := New(n)
-	perm := rng.Perm(n)
-	copy(p.dst, perm)
+	RandomInto(rng, p)
 	return p
+}
+
+// RandomInto refills p in place with a uniformly random full permutation,
+// drawing from rng exactly as Random does — same values consumed, same
+// pattern produced — without allocating. It is the per-trial hot path of
+// the randomized sweeps.
+func RandomInto(rng *rand.Rand, p *Permutation) {
+	permInto(rng, p.dst[:0], len(p.dst))
+}
+
+// permInto is rand.Perm writing into a reused buffer: the identical
+// Fisher–Yates loop (including the i = 0 self-swap rand.Perm keeps for
+// draw compatibility), so a shared rng yields the same sequence either way.
+func permInto(rng *rand.Rand, buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	} else {
+		buf = buf[:n]
+	}
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+	return buf
+}
+
+// PatternScratch pools the index buffers RandomPartialInto needs between
+// trials. The zero value is ready to use; NewPatternScratch pre-sizes the
+// buffers so no trial allocates at all.
+type PatternScratch struct {
+	sources, dests, order []int
+}
+
+// NewPatternScratch returns a scratch whose buffers already hold n
+// endpoints, making every subsequent RandomPartialInto allocation-free.
+func NewPatternScratch(n int) *PatternScratch {
+	return &PatternScratch{
+		sources: make([]int, 0, n),
+		dests:   make([]int, 0, n),
+		order:   make([]int, 0, n),
+	}
 }
 
 // RandomPartial returns a random partial permutation in which each
 // endpoint sends with probability density; destinations are a random
 // matching over a same-sized random subset of endpoints.
 func RandomPartial(rng *rand.Rand, n int, density float64) *Permutation {
+	p := New(n)
+	RandomPartialInto(rng, p, density, &PatternScratch{})
+	return p
+}
+
+// RandomPartialInto is RandomPartial refilling a reused pattern and
+// drawing its index buffers from sc: identical rng consumption and result,
+// no per-trial allocation once sc's buffers have grown to n.
+func RandomPartialInto(rng *rand.Rand, p *Permutation, density float64, sc *PatternScratch) {
 	if density < 0 || density > 1 {
 		panic(fmt.Sprintf("permutation: density %v out of [0,1]", density))
 	}
-	var sources []int
+	n := len(p.dst)
+	sources := sc.sources[:0]
 	for i := 0; i < n; i++ {
 		if rng.Float64() < density {
 			sources = append(sources, i)
 		}
 	}
-	dests := rng.Perm(n)[:len(sources)]
-	p := New(n)
-	order := rng.Perm(len(sources))
-	for i, s := range sources {
-		p.dst[s] = dests[order[i]]
+	sc.sources = sources
+	// RandomPartial draws a full n-element Perm and truncates; mirror that.
+	sc.dests = permInto(rng, sc.dests, n)
+	sc.order = permInto(rng, sc.order, len(sources))
+	for i := range p.dst {
+		p.dst[i] = Unused
 	}
-	return p
+	for i, s := range sources {
+		p.dst[s] = sc.dests[sc.order[i]]
+	}
 }
 
 // Shift returns the cyclic shift i→(i+k) mod n. Shift(n, 0) is the

@@ -95,6 +95,11 @@ type BlockSymmetry struct {
 	necklaces  []string
 	neckCounts [][]int // neckCounts[i][β] = uses of block β in necklaces[i]
 	lenStart   []int   // lenStart[L] = first index with length ≥ L
+	// rhos holds all r! relabelings of the block alphabet, in EnumerateFull
+	// order, precomputed once so the canonicality filter on the orbit
+	// enumeration's hot path never re-runs Heap's algorithm (which would
+	// allocate a fresh Permutation per candidate multiset).
+	rhos [][]byte
 }
 
 // symCache memoizes BlockSymmetry per geometry: the struct is immutable
@@ -131,6 +136,15 @@ func NewBlockSymmetry(hosts, blockSize int) (*BlockSymmetry, error) {
 		}
 		s.lenStart[l] = idx
 	}
+	s.rhos = make([][]byte, 0, CountFull(s.blocks))
+	EnumerateFull(s.blocks, func(g *Permutation) bool {
+		rho := make([]byte, s.blocks)
+		for i := range rho {
+			rho[i] = byte(g.Dst(i))
+		}
+		s.rhos = append(s.rhos, rho)
+		return true
+	})
 	symCache.Store(key, s)
 	return s, nil
 }
@@ -210,9 +224,10 @@ func (s *BlockSymmetry) OrbitSize(p *Permutation) (int, error) {
 // Orbits calls yield once per orbit with the canonical representative and
 // the orbit size, stopping early if yield returns false and reporting
 // whether the enumeration completed. The Permutation passed to yield is
-// freshly built per orbit (safe to retain). Representatives arrive in a
-// deterministic order: ascending by the orbit's largest necklace index,
-// then depth-first within — the order OrbitsRange shards.
+// reused between orbits (Clone to retain), matching EnumerateFull's
+// contract. Representatives arrive in a deterministic order: ascending by
+// the orbit's largest necklace index, then depth-first within — the order
+// OrbitsRange shards.
 func (s *BlockSymmetry) Orbits(yield func(rep *Permutation, orbitSize int) bool) bool {
 	return s.OrbitsRange(0, len(s.necklaces), yield)
 }
@@ -251,7 +266,7 @@ func (s *BlockSymmetry) OrbitsRange(lo, hi int, yield func(rep *Permutation, orb
 		if !canonical {
 			return // another alphabet labeling of this orbit is the representative
 		}
-		if !yield(s.rebuild(necks), s.orbitSize(necks, stab)) {
+		if !yield(s.rebuildInto(necks, sc), s.orbitSize(necks, stab)) {
 			abort = true
 		}
 	}
@@ -373,11 +388,7 @@ func (s *BlockSymmetry) patternNecklaces(p *Permutation) ([]string, error) {
 func (s *BlockSymmetry) minimizeAlphabet(necks []string) (canon []string, stab int) {
 	canon, stab = necks, 0
 	bestEnc := encodeNecklaces(necks)
-	rho := make([]byte, s.blocks)
-	EnumerateFull(s.blocks, func(g *Permutation) bool {
-		for i := range rho {
-			rho[i] = byte(g.Dst(i))
-		}
+	for _, rho := range s.rhos {
 		rel := relabelNecklaces(necks, rho)
 		enc := encodeNecklaces(rel)
 		if enc < bestEnc {
@@ -385,8 +396,7 @@ func (s *BlockSymmetry) minimizeAlphabet(necks []string) (canon []string, stab i
 		} else if enc == bestEnc {
 			stab++
 		}
-		return true
-	})
+	}
 	return canon, stab
 }
 
@@ -399,15 +409,24 @@ type alphaScratch struct {
 	ord   []int    // sort order of rel by (length, lex)
 	enc0  []byte   // encoding of necks, the comparison baseline
 	rho   []byte   // current alphabet relabeling
+	// Representative-construction scratch: the one Permutation the
+	// enumeration yields (reused between orbits) and rebuildInto's
+	// per-block slot counters and cycle buffer.
+	rep     *Permutation
+	next    []int
+	hostSeq []int
 }
 
 func newAlphaScratch(s *BlockSymmetry) *alphaScratch {
 	sc := &alphaScratch{
-		necks: make([]string, 0, s.hosts),
-		rel:   make([][]byte, s.hosts),
-		ord:   make([]int, 0, s.hosts),
-		enc0:  make([]byte, 0, 2*s.hosts),
-		rho:   make([]byte, s.blocks),
+		necks:   make([]string, 0, s.hosts),
+		rel:     make([][]byte, s.hosts),
+		ord:     make([]int, 0, s.hosts),
+		enc0:    make([]byte, 0, 2*s.hosts),
+		rho:     make([]byte, s.blocks),
+		rep:     New(s.hosts),
+		next:    make([]int, s.blocks),
+		hostSeq: make([]int, 0, s.hosts),
 	}
 	for i := range sc.rel {
 		sc.rel[i] = make([]byte, 0, s.hosts)
@@ -426,22 +445,17 @@ func (s *BlockSymmetry) alphabetCanonicalScratch(necks []string, sc *alphaScratc
 		sc.enc0 = append(sc.enc0, byte(len(n)))
 		sc.enc0 = append(sc.enc0, n...)
 	}
-	ok = true
-	EnumerateFull(s.blocks, func(g *Permutation) bool {
-		for i := range sc.rho {
-			sc.rho[i] = byte(g.Dst(i))
-		}
+	for _, rho := range s.rhos {
+		copy(sc.rho, rho)
 		c := s.compareRelabeled(necks, sc)
 		if c < 0 {
-			ok = false
-			return false
+			return 0, false
 		}
 		if c == 0 {
 			stab++
 		}
-		return true
-	})
-	return stab, ok
+	}
+	return stab, true
 }
 
 // compareRelabeled relabels necks through sc.rho, canonicalizes rotations,
@@ -566,16 +580,30 @@ func (s *BlockSymmetry) orbitSize(necks []string, stab int) int {
 // lowest unused host of its block, and close each cycle. Decomposing the
 // result reproduces the multiset, so Canonical is idempotent.
 func (s *BlockSymmetry) rebuild(necks []string) *Permutation {
-	p := New(s.hosts)
-	next := make([]int, s.blocks)
-	hostSeq := make([]int, 0, s.hosts)
+	sc := &alphaScratch{
+		rep:     New(s.hosts),
+		next:    make([]int, s.blocks),
+		hostSeq: make([]int, 0, s.hosts),
+	}
+	return s.rebuildInto(necks, sc)
+}
+
+// rebuildInto is rebuild writing into sc's reused representative buffer.
+// A full multiset covers every host, so every dst entry is overwritten —
+// no reset needed between calls.
+func (s *BlockSymmetry) rebuildInto(necks []string, sc *alphaScratch) *Permutation {
+	p := sc.rep
+	for i := range sc.next {
+		sc.next[i] = 0
+	}
 	for _, neck := range necks {
-		hostSeq = hostSeq[:0]
+		hostSeq := sc.hostSeq[:0]
 		for i := 0; i < len(neck); i++ {
 			beta := int(neck[i])
-			hostSeq = append(hostSeq, beta*s.blockSize+next[beta])
-			next[beta]++
+			hostSeq = append(hostSeq, beta*s.blockSize+sc.next[beta])
+			sc.next[beta]++
 		}
+		sc.hostSeq = hostSeq
 		for i, h := range hostSeq {
 			p.dst[h] = hostSeq[(i+1)%len(hostSeq)]
 		}

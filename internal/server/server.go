@@ -133,11 +133,11 @@ const batchOp = "verify_batch"
 // opNames lists every metrics endpoint key: the registered jobs plus the
 // batch endpoint.
 func opNames() []string {
-	names := make([]string, 0, len(jobs)+2)
+	names := make([]string, 0, len(jobs)+3)
 	for _, jb := range jobs {
 		names = append(names, jb.Op())
 	}
-	return append(names, batchOp, sweepOp)
+	return append(names, batchOp, sweepOp, designOp)
 }
 
 // New starts cfg.Workers executor goroutines and returns the server.
@@ -249,6 +249,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/v1/"+jb.Op(), s.jobHandler(jb))
 	}
 	mux.HandleFunc("/v1/verify/batch", s.batchHandler(verifyJob))
+	mux.HandleFunc("POST /v1/design", s.designHandler)
 	mux.HandleFunc("POST /v1/verify/sweep", s.sweepHandler)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.jobStatusHandler)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.jobEventsHandler)
