@@ -4,14 +4,14 @@ GO ?= go
 
 # Single source of truth for the race-detector package list; CI runs
 # `make race` so the two can never drift.
-RACE_PKGS ?= ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal/experiments/ ./internal/workload/ ./internal/server/ ./internal/store/ ./internal/permutation/
+RACE_PKGS ?= ./internal/sim/ ./internal/analysis/ ./internal/routing/ ./internal/experiments/ ./internal/workload/ ./internal/server/ ./internal/store/ ./internal/permutation/ ./internal/campaign/
 
 # Per-target budget for the fuzz smoke pass (`go test -fuzz` accepts one
 # target per invocation). Entries are package:target.
 FUZZTIME ?= 30s
 FUZZ_TARGETS := ./internal/routing/:FuzzEdgeColorBipartite ./internal/routing/:FuzzBenesLooping ./internal/routing/:FuzzRouteTableParity ./internal/permutation/:FuzzCanonicalParity
 
-.PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke batch-smoke coordinator-smoke frontier-smoke design-smoke report tables examples clean
+.PHONY: all build test race cover bench bench-json bench-gate fuzz-smoke batch-smoke coordinator-smoke frontier-smoke design-smoke fault-smoke report tables examples clean
 
 all: build test
 
@@ -53,6 +53,16 @@ frontier-smoke:
 design-smoke:
 	$(GO) test ./internal/design/ -count=1
 	GO="$(GO)" ./scripts/design_smoke.sh
+
+# Fault-campaign smoke: the campaign engine's byte-identity and
+# no-failed-path property tests plus the /v1/failures endpoint tests, then
+# the real nbverify -failures binary on a pinned small fabric diffed
+# against the committed golden curves — sequentially, on a worker pool,
+# and through a live nbserve.
+fault-smoke:
+	$(GO) test ./internal/campaign/ -count=1 -run 'TestRunParallelMatchesSequential|TestNoRouterEmitsFailedPath'
+	$(GO) test ./internal/server/ -count=1 -run 'TestFailures'
+	GO="$(GO)" ./scripts/fault_smoke.sh
 
 race:
 	$(GO) test -race $(RACE_PKGS)

@@ -322,6 +322,50 @@ func buildBenchmarks() ([]benchmark, error) {
 			},
 		})
 	}
+
+	// FaultCampaign: the fault-injection campaign engine — failure-set
+	// sampling, per-set router rebuilds across all four fault-routing
+	// schemes, and the pattern-analysis fan-out — sequentially on a small
+	// fabric (the fault-smoke configuration without the simulator). The
+	// anchored degradation sums pin the curves the benchmark re-times.
+	{
+		cfg := fclos.CampaignConfig{
+			N: 2, M: 8, R: 4, Scenario: "tops",
+			MaxFailures: 3, Samples: 2, Trials: 10, Seed: 1,
+		}
+		rep, err := fclos.RunFaultCampaign(context.Background(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		var degraded float64
+		for _, c := range rep.Curves {
+			degraded += c.Points[len(c.Points)-1].DegradedFrac
+		}
+		benches = append(benches, benchmark{
+			name: "FaultCampaign",
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					got, err := fclos.RunFaultCampaign(context.Background(), cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var d float64
+					for _, c := range got.Curves {
+						d += c.Points[len(c.Points)-1].DegradedFrac
+					}
+					if len(got.Curves) != len(rep.Curves) || d != degraded {
+						b.Fatalf("campaign drifted: %d curves, final degraded sum %.4f (want %d, %.4f)",
+							len(got.Curves), d, len(rep.Curves), degraded)
+					}
+				}
+			},
+			met: map[string]float64{
+				"schemes":            float64(len(rep.Curves)),
+				"cells":              float64(len(rep.Curves) * (1 + cfg.MaxFailures*cfg.Samples)),
+				"sum_final_degraded": degraded,
+			},
+		})
+	}
 	return benches, nil
 }
 

@@ -126,7 +126,7 @@ func TestBuildBenchmarksConstructs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"SweepRandom", "SweepExhaustive", "SweepExhaustiveDelta", "SweepExhaustiveSymN9", "OpenLoop", "ClosedLoop4Trial", "DesignPlanCatalog"}
+	want := []string{"SweepRandom", "SweepExhaustive", "SweepExhaustiveDelta", "SweepExhaustiveSymN9", "OpenLoop", "ClosedLoop4Trial", "DesignPlanCatalog", "FaultCampaign"}
 	if len(benches) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(benches), len(want))
 	}
@@ -177,6 +177,21 @@ func TestBuildBenchmarksConstructs(t *testing.T) {
 		if designBm.met[k] <= 0 {
 			t.Fatalf("design benchmark %s = %v, want > 0 (metrics %+v)", k, designBm.met[k], designBm.met)
 		}
+	}
+	// The campaign setup run must have compared all four fault-routing
+	// schemes and observed real degradation at the sweep's edge — a clean
+	// curve would mean the failure injection went missing.
+	var faultBm benchmark
+	for _, bm := range benches {
+		if bm.name == "FaultCampaign" {
+			faultBm = bm
+		}
+	}
+	if faultBm.met["schemes"] != 4 {
+		t.Fatalf("fault benchmark scheme count drifted: %+v", faultBm.met)
+	}
+	if faultBm.met["sum_final_degraded"] <= 0 {
+		t.Fatalf("fault benchmark saw no degradation at max failures: %+v", faultBm.met)
 	}
 }
 

@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/permutation"
 	"repro/internal/routing"
@@ -187,6 +189,27 @@ func run(out io.Writer, trials int, seed int64) error {
 	if err := metricsSection(out, cfg); err != nil {
 		return err
 	}
+	endSection()
+
+	section("E20 — fault campaign: nonblocking margin vs failures")
+	// m = 8 staggers the cliffs inside the sweep: the avoiding adaptive
+	// refuses once its demand bound (6 tops for these patterns) exceeds the
+	// healthy count (k >= 3), the spared scheme burns its 4 spares and dies
+	// at k = 5, while naive remap and local rerouting degrade gradually —
+	// the curves separate all four schemes.
+	frep, err := campaign.Run(context.Background(), campaign.Config{
+		N: 2, M: 8, R: 4,
+		Scenario:    campaign.ScenarioTops,
+		MaxFailures: 5,
+		Samples:     3,
+		Trials:      trials,
+		Seed:        seed,
+		Sim:         true,
+	})
+	if err != nil {
+		return err
+	}
+	campaign.Render(out, frep)
 	endSection()
 
 	section("Scaling — 2- vs 3-level cost")

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/api"
+	"repro/internal/campaign"
+)
+
+// failOpts carries the -fail-* flags of the campaign mode.
+type failOpts struct {
+	scenario string
+	max      int
+	samples  int
+	trials   int
+	schemes  string
+	sim      bool
+	workers  int
+}
+
+func (o failOpts) schemeList() []string {
+	if strings.TrimSpace(o.schemes) == "" {
+		return nil // campaign default: every scheme
+	}
+	var out []string
+	for _, s := range strings.Split(o.schemes, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runFailures runs a fault campaign locally and renders the degradation
+// curves.
+func runFailures(ctx context.Context, out io.Writer, n, m, r int, seed int64, o failOpts) error {
+	rep, err := campaign.Run(ctx, campaign.Config{
+		N: n, M: m, R: r,
+		Scenario:    campaign.Scenario(o.scenario),
+		MaxFailures: o.max,
+		Samples:     o.samples,
+		Trials:      o.trials,
+		Schemes:     o.schemeList(),
+		Seed:        seed,
+		Workers:     o.workers,
+		Sim:         o.sim,
+	})
+	if err != nil {
+		return err
+	}
+	campaign.Render(out, rep)
+	return nil
+}
+
+// runFailuresRemote submits the campaign to an nbserve node's /v1/failures
+// endpoint and renders the returned report. The topology is spelled out in
+// full (including m) so the remote result matches the local engine
+// byte-for-byte for the same seed.
+func runFailuresRemote(ctx context.Context, out io.Writer, remote string, n, m, r int, seed int64, o failOpts) error {
+	if !strings.Contains(remote, "://") {
+		remote = "http://" + remote
+	}
+	q := api.Request{
+		N: n, M: m, R: r, Seed: api.SeedPtr(seed), Workers: o.workers,
+		Failures: &api.FailuresRequest{
+			Scenario:    o.scenario,
+			MaxFailures: o.max,
+			Samples:     o.samples,
+			Trials:      o.trials,
+			Schemes:     o.schemeList(),
+			Sim:         o.sim,
+		},
+	}
+	body, err := json.Marshal(&q)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, remote+"/v1/failures", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er api.ErrorReport
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			return fmt.Errorf("remote rejected campaign (%d): %s", resp.StatusCode, er.Error)
+		}
+		return fmt.Errorf("remote rejected campaign: status %d", resp.StatusCode)
+	}
+	var rep api.FailuresReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("decode campaign report: %w", err)
+	}
+	campaign.Render(out, &rep)
+	return nil
+}

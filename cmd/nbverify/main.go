@@ -47,6 +47,15 @@ func main() {
 		verbose = flag.Bool("v", false, "print per-link detail for violations")
 		pattern = flag.String("pattern", "", `check one explicit pattern, e.g. "0->4 2->5", instead of deciding nonblocking`)
 		remote  = flag.String("remote", "", "nbserve address (host:port): submit the sweep to a remote node and stream its progress")
+
+		failures = flag.Bool("failures", false, "run a fault-injection campaign instead of a verification: sweep failure counts, compare fault-routing schemes")
+		failScen = flag.String("fail-scenario", "tops", "failure scenario: links | tops | tops-correlated | pods")
+		failMax  = flag.Int("fail-max", 4, "largest failure count swept")
+		failSam  = flag.Int("fail-samples", 3, "failure sets sampled per count")
+		failTri  = flag.Int("fail-trials", 50, "random surviving-host permutations per failure set")
+		failSch  = flag.String("fail-schemes", "", "comma-separated campaign schemes (default: all four)")
+		failSim  = flag.Bool("fail-sim", false, "also measure open-loop accepted load per failure set")
+		failWrk  = flag.Int("fail-workers", 0, "campaign worker pool size (0 or 1: sequential; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -54,6 +63,22 @@ func main() {
 	// process mid-output; a cancelled run exits nonzero with context.Canceled.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *failures {
+		o := failOpts{scenario: *failScen, max: *failMax, samples: *failSam,
+			trials: *failTri, schemes: *failSch, sim: *failSim, workers: *failWrk}
+		var err error
+		if *remote != "" {
+			err = runFailuresRemote(ctx, os.Stdout, *remote, *n, *m, *r, *seed, o)
+		} else {
+			err = runFailures(ctx, os.Stdout, *n, *m, *r, *seed, o)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nbverify:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *remote != "" {
 		if err := runRemote(ctx, os.Stdout, *remote, *n, *m, *r, *scheme, *sprayW, *maxExh, *sym); err != nil {

@@ -32,6 +32,7 @@ package fclos
 import (
 	"repro/internal/analysis"
 	"repro/internal/api"
+	"repro/internal/campaign"
 	"repro/internal/conditions"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -631,4 +632,60 @@ var (
 	// ReplayDesignCondition re-derives a frontier point's tier-0 condition
 	// and checks its certificate's structural consistency.
 	ReplayDesignCondition = design.ReplayCondition
+)
+
+// ---------------------------------------------------------------------------
+// Fault campaigns (nbverify -failures, /v1/failures)
+// ---------------------------------------------------------------------------
+
+// Failure model and campaign types; see internal/topology for the
+// FailureSet invariants (whole-element semantics, canonical keys) and
+// internal/campaign for the engine's determinism contract.
+type (
+	// FailureSet names failed top switches, bottom switches, and trunk
+	// cables of a folded Clos.
+	FailureSet = topology.FailureSet
+	// FailedTrunk is one failed bottom↔top duplex cable.
+	FailedTrunk = topology.Trunk
+	// FailureView is a FailureSet bound to a fabric for O(1) health
+	// lookups.
+	FailureView = topology.FailureView
+	// CampaignConfig parameterizes one fault-injection campaign.
+	CampaignConfig = campaign.Config
+	// FailureScenario selects the failure-set sampler (links, tops,
+	// tops-correlated, pods).
+	FailureScenario = campaign.Scenario
+	// FaultCampaignReport is the per-scheme degradation curves (the JSON
+	// schema shared with POST /v1/failures).
+	FaultCampaignReport = api.FailuresReport
+)
+
+// Campaign entry points and the fault-routing zoo; see internal/campaign
+// and internal/routing.
+var (
+	// RunFaultCampaign sweeps failure counts, rebuilds every scheme per
+	// sampled failure set, and reports nonblocking margin vs failures.
+	// Parallel runs (Config.Workers > 1) are byte-identical to sequential.
+	RunFaultCampaign = campaign.Run
+	// RenderFaultCampaign writes a report as text tables.
+	RenderFaultCampaign = campaign.Render
+	// SampleFailures draws one failure set of a scenario.
+	SampleFailures = campaign.SampleFailures
+	// DefaultFaultSchemes lists the four campaign routing schemes.
+	DefaultFaultSchemes = campaign.DefaultSchemes
+	// BuildFaultRouter instantiates a campaign scheme against a view.
+	BuildFaultRouter = campaign.BuildRouter
+	// NewLocalReroute is Bankhamer-style randomized local fast rerouting:
+	// deflections at the point of failure, no global recomputation.
+	NewLocalReroute = routing.NewLocalReroute
+	// NewAvoidingAdaptive routes around a failure view with the
+	// nonblocking adaptive assignment over the healthy top switches.
+	NewAvoidingAdaptive = routing.NewAvoidingAdaptive
+	// NewSparedDeterministicView remaps failed class switches onto spare
+	// tops (Theorem 3 with spares).
+	NewSparedDeterministicView = routing.NewSparedDeterministicView
+	// NewNaiveRemapView is the negative control: failed class switches
+	// remapped by modulo over the healthy tops, destroying the Theorem-3
+	// conflict-freedom.
+	NewNaiveRemapView = routing.NewNaiveRemapView
 )

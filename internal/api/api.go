@@ -76,6 +76,10 @@ type Request struct {
 	// sweep across workers.
 	SymShard []int `json:"sym_shard,omitempty"`
 
+	// Failures configures the fault-injection campaign (POST /v1/failures)
+	// and is only valid there. Nil everywhere else.
+	Failures *FailuresRequest `json:"failures,omitempty"`
+
 	// Execution controls. These do NOT participate in the result-cache key:
 	// they change how a job runs, not what it computes. SymReduce asks the
 	// exhaustive engines to sweep one canonical representative per orbit of
@@ -114,6 +118,12 @@ func (q *Request) CacheKey(op string) string {
 		// itself stays out of the key: a symmetry-reduced sweep's final
 		// report is byte-identical to the full engine's.
 		fmt.Fprintf(&b, "|symshard=%s", SymShardID(q.SymShard[0], q.SymShard[1]))
+	}
+	if q.Failures != nil {
+		// Appended only when set so every pre-existing key is unchanged.
+		fr := q.Failures
+		fmt.Fprintf(&b, "|failures=%s,max=%d,samples=%d,ftrials=%d,schemes=%s,fsim=%t",
+			fr.Scenario, fr.MaxFailures, fr.Samples, fr.Trials, strings.Join(fr.Schemes, "+"), fr.Sim)
 	}
 	return b.String()
 }
@@ -313,6 +323,88 @@ type SweepStatus struct {
 	Blocked     int64           `json:"blocked"`
 	Error       string          `json:"error,omitempty"`
 	Result      json.RawMessage `json:"result,omitempty"`
+}
+
+// FailuresRequest configures a fault-injection campaign (POST
+// /v1/failures): for every failure count k = 0..max_failures it draws
+// `samples` failure sets of the scenario, rebuilds each fault-aware
+// routing scheme against each set, and measures `trials` random
+// permutations per set, reporting a degradation curve per scheme.
+type FailuresRequest struct {
+	// Scenario: links (k random trunk cables) | tops (k random top
+	// switches) | tops-correlated (a contiguous block of k tops — a
+	// shared power/firmware domain) | pods (k whole bottom switches with
+	// their hosts).
+	Scenario string `json:"scenario"`
+	// MaxFailures is the largest failure count k swept; 0 means the
+	// server default.
+	MaxFailures int `json:"max_failures,omitempty"`
+	// Samples is the number of failure sets drawn per k ≥ 1 (k = 0 runs
+	// once — the pristine fabric needs no sampling).
+	Samples int `json:"samples,omitempty"`
+	// Trials is the number of random permutations measured per failure
+	// set per scheme.
+	Trials int `json:"trials,omitempty"`
+	// Schemes are campaign scheme names (adaptive-avoiding |
+	// spared-deterministic | naive-remap | local-reroute); empty selects
+	// all four.
+	Schemes []string `json:"schemes,omitempty"`
+	// Sim additionally runs an open-loop simulation at offered load 1.0
+	// per failure set and reports the mean accepted load.
+	Sim bool `json:"sim,omitempty"`
+}
+
+// FailuresReport is the POST /v1/failures response: one degradation curve
+// per routing scheme. Curves are ordered as requested and points by
+// ascending failure count.
+type FailuresReport struct {
+	Network     string         `json:"network"`
+	Hosts       int            `json:"hosts"`
+	Scenario    string         `json:"scenario"`
+	MaxFailures int            `json:"max_failures"`
+	Samples     int            `json:"samples"`
+	Trials      int            `json:"trials"`
+	Seed        int64          `json:"seed"`
+	Sim         bool           `json:"sim"`
+	Curves      []FailureCurve `json:"curves"`
+}
+
+// FailureCurve is one scheme's nonblocking-margin-vs-failures curve.
+type FailureCurve struct {
+	Scheme string         `json:"scheme"`
+	Points []FailurePoint `json:"points"`
+}
+
+// FailurePoint aggregates every sampled failure set with k failures for
+// one scheme.
+type FailurePoint struct {
+	// Failures is k, the failure count of this point.
+	Failures int `json:"failures"`
+	// Samples is the number of failure sets aggregated here.
+	Samples int `json:"samples"`
+	// RouterFailures counts samples where the scheme could not even be
+	// instantiated (e.g. spares exhausted) — every pattern of such a
+	// sample is lost and is also counted in RouteFailures.
+	RouterFailures int `json:"router_failures,omitempty"`
+	// Patterns is the total number of patterns tested (samples × trials).
+	Patterns int `json:"patterns"`
+	// RouteFailures counts patterns the scheme failed to route at all.
+	RouteFailures int `json:"route_failures,omitempty"`
+	// Blocked counts routed patterns with link contention.
+	Blocked int `json:"blocked"`
+	// DegradedFrac is the fraction of patterns that were blocked or
+	// unroutable: (Blocked+RouteFailures)/Patterns — the "nonblocking
+	// margin" is its complement.
+	DegradedFrac float64 `json:"degraded_frac"`
+	// MaxLinkLoad is the worst link load over all routed patterns.
+	MaxLinkLoad int `json:"max_link_load"`
+	// MeanMaxLoad averages each routed pattern's max link load.
+	MeanMaxLoad float64 `json:"mean_max_load"`
+	// AcceptedLoad is the mean open-loop accepted load at offered 1.0
+	// over simulated samples (Sim only; 0 when disabled or nothing
+	// simulated). MinAcceptedLoad is the worst sample.
+	AcceptedLoad    float64 `json:"accepted_load,omitempty"`
+	MinAcceptedLoad float64 `json:"min_accepted_load,omitempty"`
 }
 
 // ErrorReport is the JSON body of every non-2xx nbserve response.

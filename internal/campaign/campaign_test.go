@@ -1,0 +1,175 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRunSmallCampaign(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		N: 2, R: 4, Scenario: ScenarioTops, MaxFailures: 2, Samples: 2, Trials: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Curves) != 4 {
+		t.Fatalf("curves = %d, want 4", len(rep.Curves))
+	}
+	for _, curve := range rep.Curves {
+		if len(curve.Points) != 3 {
+			t.Fatalf("scheme %s: points = %d, want 3 (k=0..2)", curve.Scheme, len(curve.Points))
+		}
+		p0 := curve.Points[0]
+		if p0.Failures != 0 || p0.Samples != 1 || p0.Patterns != 10 {
+			t.Fatalf("scheme %s: malformed k=0 point %+v", curve.Scheme, p0)
+		}
+		// Every scheme is clean on the pristine fabric (m = n²+2 here).
+		if curve.Scheme != SchemeNaive && p0.DegradedFrac != 0 {
+			t.Errorf("scheme %s degraded at k=0: %+v", curve.Scheme, p0)
+		}
+	}
+	// The naive remap is the negative control: it must degrade under
+	// failures while the spared scheme (within its spare budget) stays
+	// clean.
+	var naive, spared *[3]float64
+	for _, c := range rep.Curves {
+		var fr [3]float64
+		for i, pt := range c.Points {
+			fr[i] = pt.DegradedFrac
+		}
+		switch c.Scheme {
+		case SchemeNaive:
+			naive = &fr
+		case SchemeSpared:
+			spared = &fr
+		}
+	}
+	if naive[1] == 0 && naive[2] == 0 {
+		t.Error("naive remap never degraded under top-switch failures")
+	}
+	if spared[1] != 0 || spared[2] != 0 {
+		t.Errorf("spared scheme degraded within its spare budget: %v", *spared)
+	}
+}
+
+// The tentpole determinism claim: a parallel campaign is byte-identical
+// to the sequential one.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	for _, sc := range Scenarios() {
+		cfg := Config{
+			N: 2, R: 4, Scenario: sc, MaxFailures: 3, Samples: 2, Trials: 8, Seed: 7, Sim: true,
+		}
+		seq, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", sc, err)
+		}
+		cfg.Workers = 8
+		par, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", sc, err)
+		}
+		sj, _ := json.Marshal(seq)
+		pj, _ := json.Marshal(par)
+		if string(sj) != string(pj) {
+			t.Fatalf("scenario %s: parallel output differs from sequential:\n%s\nvs\n%s", sc, sj, pj)
+		}
+	}
+}
+
+// Satellite property test: no fault-aware router may emit a path that
+// traverses a failed link or switch, over random failure sets of every
+// scenario and the full fault-routing zoo.
+func TestNoRouterEmitsFailedPath(t *testing.T) {
+	f := topology.NewFoldedClos(2, 7, 4) // m = n²+3: spares for the spared scheme
+	rng := rand.New(rand.NewSource(99))
+	for _, sc := range Scenarios() {
+		dom, err := ScenarioDomain(sc, f.N, f.M, f.R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 25; round++ {
+			k := rng.Intn(dom + 1)
+			fs, err := SampleFailures(f, sc, k, rng)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", sc, k, err)
+			}
+			view, err := fs.View(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alive := view.AliveHosts()
+			if len(alive) < 2 {
+				continue
+			}
+			p := randomAlivePerm(f.Ports(), alive, rng)
+			for _, scheme := range DefaultSchemes() {
+				r, err := BuildRouter(f, scheme, view, 5)
+				if err != nil {
+					continue // spares exhausted etc: a legal outcome
+				}
+				a, err := r.Route(p)
+				if err != nil {
+					continue // unroutable pattern: a legal outcome
+				}
+				for i, paths := range a.PathSets {
+					for _, path := range paths {
+						if !path.Valid(f.Net) {
+							t.Fatalf("%s/%s k=%d: invalid path for pair %v", sc, scheme, k, a.Pairs[i])
+						}
+						if !view.PathHealthy(path) {
+							t.Fatalf("%s/%s k=%d: path for pair %v traverses failed element (set %s)",
+								sc, scheme, k, a.Pairs[i], fs.Key())
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSampleFailuresShapes(t *testing.T) {
+	f := topology.NewFoldedClos(2, 5, 3)
+	rng := rand.New(rand.NewSource(3))
+	fs, err := SampleFailures(f, ScenarioLinks, 4, rng)
+	if err != nil || len(fs.Trunks) != 4 {
+		t.Fatalf("links: %v %+v", err, fs)
+	}
+	fs, err = SampleFailures(f, ScenarioTops, 5, rng)
+	if err != nil || len(fs.Tops) != 5 {
+		t.Fatalf("tops: %v %+v", err, fs)
+	}
+	fs, err = SampleFailures(f, ScenarioTopsCorrelated, 3, rng)
+	if err != nil || len(fs.Tops) != 3 {
+		t.Fatalf("tops-correlated: %v %+v", err, fs)
+	}
+	fs, err = SampleFailures(f, ScenarioPods, 2, rng)
+	if err != nil || len(fs.Bottoms) != 2 {
+		t.Fatalf("pods: %v %+v", err, fs)
+	}
+	if _, err := SampleFailures(f, ScenarioPods, 4, rng); err == nil {
+		t.Fatal("expected error: cannot fail 4 of 3 pods")
+	}
+	if _, err := SampleFailures(f, Scenario("bogus"), 1, rng); err == nil {
+		t.Fatal("expected error for unknown scenario")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 1, R: 4, Scenario: ScenarioTops},                               // n too small
+		{N: 2, R: 4, Scenario: Scenario("nope")},                           // unknown scenario
+		{N: 2, R: 4, Scenario: ScenarioPods, MaxFailures: 9},               // beyond domain
+		{N: 2, R: 4, Scenario: ScenarioTops, Schemes: []string{"quantum"}}, // unknown scheme
+		{N: 2, R: 4, Scenario: ScenarioTops, MaxFailures: -1, Samples: 1},  // negative k
+		{N: 2, R: 4, Scenario: ScenarioTops, Trials: -1},                   // negative trials
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}

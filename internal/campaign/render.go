@@ -1,0 +1,35 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/api"
+)
+
+// Render writes the campaign report as the text tables used by nbverify
+// -failures, nbreport's E20 section, and the fault-smoke golden file.
+func Render(w io.Writer, rep *api.FailuresReport) {
+	fmt.Fprintf(w, "fault campaign: %s (%d hosts), scenario %s, k = 0..%d, %d set(s)/k, %d trials/set, seed %d\n",
+		rep.Network, rep.Hosts, rep.Scenario, rep.MaxFailures, rep.Samples, rep.Trials, rep.Seed)
+	fmt.Fprintf(w, "degraded = blocked or unroutable patterns / tested; nonblocking margin is its complement\n")
+	for _, curve := range rep.Curves {
+		fmt.Fprintf(w, "\nscheme %s\n", curve.Scheme)
+		if rep.Sim {
+			fmt.Fprintf(w, "  %2s  %4s  %6s  %9s  %8s  %6s  %8s  %8s  %8s\n",
+				"k", "sets", "rfail", "degraded", "blocked", "nroute", "maxload", "meanmax", "accepted")
+		} else {
+			fmt.Fprintf(w, "  %2s  %4s  %6s  %9s  %8s  %6s  %8s  %8s\n",
+				"k", "sets", "rfail", "degraded", "blocked", "nroute", "maxload", "meanmax")
+		}
+		for _, pt := range curve.Points {
+			line := fmt.Sprintf("  %2d  %4d  %6d  %8.1f%%  %8d  %6d  %8d  %8.2f",
+				pt.Failures, pt.Samples, pt.RouterFailures, 100*pt.DegradedFrac,
+				pt.Blocked, pt.RouteFailures, pt.MaxLinkLoad, pt.MeanMaxLoad)
+			if rep.Sim {
+				line += fmt.Sprintf("  %8.3f", pt.AcceptedLoad)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}

@@ -140,6 +140,17 @@ type FaultResult struct {
 // (c+1)·n·⌈n/(c+2)⌉ comfortably below n² (n ≥ 8 with r = n²) so the
 // asymmetry is visible.
 func Fault(n, r, spares, trials int, seed int64) (*FaultResult, error) {
+	if n < 2 || r < 1 || trials < 1 || spares < 0 {
+		return nil, fmt.Errorf("experiments: Fault needs n >= 2, r >= 1, trials >= 1, spares >= 0 (got n=%d r=%d trials=%d spares=%d)",
+			n, r, trials, spares)
+	}
+	// The sampler draws k distinct failed switches from the n² class
+	// switches for k up to spares+1; with spares+1 > n² the draw loop
+	// could never complete (it used to spin forever).
+	if spares+1 > n*n {
+		return nil, fmt.Errorf("experiments: Fault samples up to spares+1 = %d failed class switches but ftree(%d+%d,%d) has only n² = %d",
+			spares+1, n, n*n+spares, r, n*n)
+	}
 	m := n*n + spares
 	f := topology.NewFoldedClos(n, m, r)
 	ad, err := routing.NewNonblockingAdaptive(f)
@@ -180,16 +191,18 @@ func Fault(n, r, spares, trials int, seed int64) (*FaultResult, error) {
 			row.SparedOK = l1.Nonblocking
 		}
 		// Naive folding: exact Lemma-1 verdict (blocks whenever k > 0).
+		// When every class switch failed the remap cannot even be
+		// built — worse than blocked.
 		if k > 0 {
-			nr, err := routing.NewPaperDeterministicNaiveRemap(f, failed)
-			if err != nil {
-				return nil, err
+			if nr, err := routing.NewPaperDeterministicNaiveRemap(f, failed); err != nil {
+				row.NaiveBlocked = true
+			} else {
+				l1, err := analysis.CheckLemma1AllPairs(nr, f.Ports())
+				if err != nil {
+					return nil, err
+				}
+				row.NaiveBlocked = !l1.Nonblocking
 			}
-			l1, err := analysis.CheckLemma1AllPairs(nr, f.Ports())
-			if err != nil {
-				return nil, err
-			}
-			row.NaiveBlocked = !l1.Nonblocking
 		}
 		res.Rows = append(res.Rows, row)
 	}

@@ -66,6 +66,28 @@ func TestFaultExperiment(t *testing.T) {
 	}
 }
 
+// Regression: spares+1 > n² used to spin forever in the failure sampler
+// (it draws k ≤ spares+1 distinct switches from only n² classes). The
+// call must return an error instead of hanging.
+func TestFaultRejectsOversizedSpares(t *testing.T) {
+	if _, err := Fault(2, 4, 4, 1, 1); err == nil {
+		t.Fatal("expected error for spares+1 = 5 > n² = 4")
+	}
+	if _, err := Fault(2, 4, -1, 1, 1); err == nil {
+		t.Fatal("expected error for negative spares")
+	}
+	if _, err := Fault(1, 4, 0, 1, 1); err == nil {
+		t.Fatal("expected error for n < 2")
+	}
+	if _, err := Fault(2, 4, 0, 0, 1); err == nil {
+		t.Fatal("expected error for zero trials")
+	}
+	// The boundary case spares+1 == n² must still run.
+	if _, err := Fault(2, 4, 3, 1, 1); err != nil {
+		t.Fatalf("spares+1 == n² should be accepted: %v", err)
+	}
+}
+
 func TestLoadSweepExperiment(t *testing.T) {
 	res, err := LoadSweepExperiment(2, 5, []float64{0.2, 1.0}, 1)
 	if err != nil {

@@ -180,6 +180,17 @@ func (r *NonblockingAdaptive) Route(p *permutation.Permutation) (*Assignment, er
 		return nil, fmt.Errorf("routing: pattern needs %d top switches (%d configurations of %d), network has m=%d",
 			need, confs, (r.C+1)*r.F.N, r.F.M)
 	}
+	return r.assemble(pairs, tops, confs, need, identTop), nil
+}
+
+func identTop(t int) int { return t }
+
+// assemble materializes a planned assignment: each pair's logical top-switch
+// slot is mapped to a physical switch by physTop (the identity on a healthy
+// network; the healthy-switch renumbering when avoiding failures). It is the
+// single path-construction body shared by Route and RouteAvoiding, so the
+// degraded path cannot drift from the healthy one.
+func (r *NonblockingAdaptive) assemble(pairs []permutation.Pair, tops []int, confs, need int, physTop func(int) int) *Assignment {
 	a := &Assignment{
 		Net:             r.F.Net,
 		Pairs:           pairs,
@@ -192,12 +203,13 @@ func (r *NonblockingAdaptive) Route(p *permutation.Permutation) (*Assignment, er
 		case pr.Src == pr.Dst:
 			a.PathSets[i] = selfPath(topology.NodeID(pr.Src))
 		case tops[i] < 0:
+			// Intra-switch pair: RouteVia ignores the top switch.
 			a.PathSets[i] = []topology.Path{r.F.RouteVia(topology.NodeID(pr.Src), topology.NodeID(pr.Dst), 0)}
 		default:
-			a.PathSets[i] = []topology.Path{r.F.RouteVia(topology.NodeID(pr.Src), topology.NodeID(pr.Dst), tops[i])}
+			a.PathSets[i] = []topology.Path{r.F.RouteVia(topology.NodeID(pr.Src), topology.NodeID(pr.Dst), physTop(tops[i]))}
 		}
 	}
-	return a, nil
+	return a
 }
 
 // RequiredM reports how many top-level switches the algorithm needs for

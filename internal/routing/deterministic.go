@@ -20,6 +20,11 @@ type FtreeSinglePath struct {
 	TopChoice func(src, dst int) int
 	// RouterName is reported by Name.
 	RouterName string
+	// PairCheck, when non-nil, can reject an SD pair before routing —
+	// fault-aware schemes use it to refuse pairs with a detached
+	// endpoint. It runs after the range check and before self-pair
+	// handling.
+	PairCheck func(src, dst int) error
 }
 
 // Name returns the scheme name.
@@ -31,6 +36,11 @@ func (r *FtreeSinglePath) PathFor(src, dst int) (topology.Path, error) {
 	n := r.F.N
 	if src < 0 || src >= r.F.Ports() || dst < 0 || dst >= r.F.Ports() {
 		return topology.Path{}, fmt.Errorf("host index out of range: %d or %d", src, dst)
+	}
+	if r.PairCheck != nil {
+		if err := r.PairCheck(src, dst); err != nil {
+			return topology.Path{}, err
+		}
 	}
 	if src == dst {
 		return topology.Path{Nodes: []topology.NodeID{topology.NodeID(src)}}, nil
@@ -64,6 +74,11 @@ func (r *FtreeSinglePath) AppendPairLinks(src, dst int, buf []topology.LinkID) (
 	n := r.F.N
 	if src < 0 || src >= r.F.Ports() || dst < 0 || dst >= r.F.Ports() {
 		return buf, fmt.Errorf("host index out of range: %d or %d", src, dst)
+	}
+	if r.PairCheck != nil {
+		if err := r.PairCheck(src, dst); err != nil {
+			return buf, err
+		}
 	}
 	if src == dst {
 		return buf, nil

@@ -46,24 +46,7 @@ func (r *NonblockingAdaptive) RouteAvoiding(p *permutation.Permutation, failed m
 		return nil, fmt.Errorf("routing: pattern needs %d top switches, only %d healthy of m=%d",
 			need, len(healthy), r.F.M)
 	}
-	a := &Assignment{
-		Net:             r.F.Net,
-		Pairs:           pairs,
-		PathSets:        make([][]topology.Path, len(pairs)),
-		Configurations:  confs,
-		TopSwitchesUsed: need,
-	}
-	for i, pr := range pairs {
-		switch {
-		case pr.Src == pr.Dst:
-			a.PathSets[i] = selfPath(topology.NodeID(pr.Src))
-		case tops[i] < 0:
-			a.PathSets[i] = []topology.Path{r.F.RouteVia(topology.NodeID(pr.Src), topology.NodeID(pr.Dst), 0)}
-		default:
-			a.PathSets[i] = []topology.Path{r.F.RouteVia(topology.NodeID(pr.Src), topology.NodeID(pr.Dst), healthy[tops[i]])}
-		}
-	}
-	return a, nil
+	return r.assemble(pairs, tops, confs, need, func(t int) int { return healthy[t] }), nil
 }
 
 // SparedDeterministic is the Theorem-3 scheme hardened with spare top
@@ -78,6 +61,9 @@ type SparedDeterministic struct {
 	remap []int
 	// failures records the failed switch set the remap was built for.
 	failures map[int]bool
+	// view, when non-nil (NewSparedDeterministicView), rejects pairs
+	// whose endpoint host is detached by a bottom-switch failure.
+	view *topology.FailureView
 }
 
 // NewPaperDeterministicSpared builds the hardened router for the failure
@@ -96,6 +82,7 @@ func NewPaperDeterministicSpared(f *topology.FoldedClos, failed map[int]bool) (*
 		}
 	}
 	sort.Ints(spares)
+	healthySpares := len(spares)
 	remap := make([]int, n2)
 	for class := 0; class < n2; class++ {
 		if !failed[class] {
@@ -103,7 +90,11 @@ func NewPaperDeterministicSpared(f *topology.FoldedClos, failed map[int]bool) (*
 			continue
 		}
 		if len(spares) == 0 {
-			return nil, fmt.Errorf("routing: %d failures exceed the %d spare top switches", countTrue(failed), f.M-n2)
+			// Report the spares actually available: failed spares don't
+			// count, so f.M-n2 would overstate the budget whenever a
+			// spare is itself failed.
+			return nil, fmt.Errorf("routing: %d failures exceed the %d healthy spare top switches (%d provisioned)",
+				countTrue(failed), healthySpares, f.M-n2)
 		}
 		remap[class] = spares[0]
 		spares = spares[1:]
@@ -136,6 +127,11 @@ func (r *SparedDeterministic) PathFor(src, dst int) (topology.Path, error) {
 	n := r.F.N
 	if src < 0 || src >= r.F.Ports() || dst < 0 || dst >= r.F.Ports() {
 		return topology.Path{}, fmt.Errorf("host index out of range: %d or %d", src, dst)
+	}
+	if r.view != nil {
+		if !r.view.HostAlive(src) || !r.view.HostAlive(dst) {
+			return topology.Path{}, fmt.Errorf("routing: pair %d->%d uses a detached host (failed bottom switch)", src, dst)
+		}
 	}
 	if src == dst {
 		return topology.Path{Nodes: []topology.NodeID{topology.NodeID(src)}}, nil

@@ -85,6 +85,7 @@ func normalize(q *api.Request) {
 	if q.Arbiter == "" {
 		q.Arbiter = "round-robin"
 	}
+	normalizeFailures(q)
 }
 
 // target is a constructed topology + router pair shared by the runners.

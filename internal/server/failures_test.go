@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/campaign"
+)
+
+// TestFailuresEndpoint round-trips a small campaign through /v1/failures:
+// the response must decode to the FailuresReport the campaign engine
+// produces for the same (normalized) parameters, and a repeat request
+// must be a cache hit under the canonical key.
+func TestFailuresEndpoint(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	q := &api.Request{
+		N: 2, M: 6, R: 3, Routing: "paper",
+		Failures: &api.FailuresRequest{Scenario: "tops", MaxFailures: 2, Samples: 2, Trials: 5},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/failures", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Nbserve-Cache"); got != "miss" {
+		t.Fatalf("first request served from %q", got)
+	}
+	var rep api.FailuresReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if len(rep.Curves) != 4 {
+		t.Fatalf("curves = %d, want the 4 default schemes", len(rep.Curves))
+	}
+	for _, c := range rep.Curves {
+		if len(c.Points) != 3 {
+			t.Fatalf("scheme %s: %d points, want 3 (k=0..2)", c.Scheme, len(c.Points))
+		}
+	}
+
+	// The server response is byte-identical to a direct engine run with the
+	// normalized request parameters (seed defaults to 1, sequential).
+	want, err := campaign.Run(context.Background(), campaign.Config{
+		N: 2, M: 6, R: 3, Scenario: campaign.ScenarioTops,
+		MaxFailures: 2, Samples: 2, Trials: 5, Seed: 1,
+		SimFlits: 4, SimPackets: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, _ := json.Marshal(want)
+	if strings.TrimSpace(string(body)) != string(wj) {
+		t.Fatalf("server response differs from direct campaign run:\n%s\nvs\n%s", body, wj)
+	}
+
+	// Same request again: canonical key, cache hit.
+	resp, _ = postJSON(t, ts.URL+"/v1/failures", q)
+	if got := resp.Header.Get("X-Nbserve-Cache"); got != "hit" {
+		t.Fatalf("repeat request served from %q", got)
+	}
+
+	// Spelling out the defaults the server fills (scenario tops is the
+	// default) hits the same cache entry — normalize runs before keying.
+	q2 := &api.Request{
+		N: 2, M: 6, R: 3, Routing: "paper",
+		Failures: &api.FailuresRequest{
+			Scenario: "tops", MaxFailures: 2, Samples: 2, Trials: 5,
+			Schemes: campaign.DefaultSchemes(),
+		},
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/failures", q2)
+	if got := resp.Header.Get("X-Nbserve-Cache"); got != "hit" {
+		t.Fatalf("default-spelling request served from %q, want hit", got)
+	}
+
+	// A different scenario is a different key.
+	q3 := &api.Request{
+		N: 2, M: 6, R: 3, Routing: "paper",
+		Failures: &api.FailuresRequest{Scenario: "links", MaxFailures: 2, Samples: 2, Trials: 5},
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/failures", q3)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("links scenario: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Nbserve-Cache"); got != "miss" {
+		t.Fatalf("links-scenario request served from %q, want miss", got)
+	}
+}
+
+// TestFailuresValidation pins the request surface of /v1/failures: the
+// block is required there and rejected everywhere else, and every
+// parameter is range-checked before a worker sees the request.
+func TestFailuresValidation(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	fb := func() *api.FailuresRequest {
+		return &api.FailuresRequest{Scenario: "tops", MaxFailures: 2, Samples: 1, Trials: 5}
+	}
+	cases := []struct {
+		name    string
+		path    string
+		q       api.Request
+		wantSub string
+	}{
+		{"missing block", "/v1/failures",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper"}, "failures block"},
+		{"mnt topo", "/v1/failures",
+			api.Request{Topo: "mnt", Ports: 4, Levels: 2, Routing: "mnt-dest-mod", Failures: fb()}, "ftree"},
+		{"unknown scenario", "/v1/failures",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper",
+				Failures: &api.FailuresRequest{Scenario: "meteor", Samples: 1, Trials: 5}}, "scenario"},
+		{"max beyond domain", "/v1/failures",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper",
+				Failures: &api.FailuresRequest{Scenario: "pods", MaxFailures: 4, Samples: 1, Trials: 5}}, "max_failures"},
+		{"negative max", "/v1/failures",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper",
+				Failures: &api.FailuresRequest{Scenario: "tops", MaxFailures: -1, Samples: 1, Trials: 5}}, "max_failures"},
+		{"oversized samples", "/v1/failures",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper",
+				Failures: &api.FailuresRequest{Scenario: "tops", MaxFailures: 2, Samples: 1000, Trials: 5}}, "samples"},
+		{"oversized trials", "/v1/failures",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper",
+				Failures: &api.FailuresRequest{Scenario: "tops", MaxFailures: 2, Samples: 1, Trials: 100000}}, "trials"},
+		{"unknown scheme", "/v1/failures",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper",
+				Failures: &api.FailuresRequest{Scenario: "tops", MaxFailures: 2, Samples: 1, Trials: 5,
+					Schemes: []string{"telepathy"}}}, "scheme"},
+		{"work cap", "/v1/failures",
+			api.Request{N: 8, M: 70, R: 100, Routing: "paper",
+				Failures: &api.FailuresRequest{Scenario: "tops", MaxFailures: 64, Samples: 64, Trials: 5000}}, "pattern-host"},
+		{"sym_reduce", "/v1/failures",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper", SymReduce: true, Failures: fb()}, "sym_reduce"},
+		// The failures block is rejected on every other endpoint.
+		{"block on verify", "/v1/verify",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper", Failures: fb()}, "failures"},
+		{"block on worstcase", "/v1/worstcase",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper", Failures: fb()}, "failures"},
+		{"block on sim", "/v1/sim",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper", Failures: fb()}, "failures"},
+		{"block on shard", "/v1/verify/shard",
+			api.Request{N: 2, M: 6, R: 3, Routing: "paper", Failures: fb()}, "failures"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := tc.q
+			resp, body := postJSON(t, ts.URL+tc.path, &q)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			var er api.ErrorReport
+			if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+				t.Fatalf("error body %s", body)
+			}
+			if !strings.Contains(er.Error, tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", er.Error, tc.wantSub)
+			}
+		})
+	}
+
+	// Every rejection happened before the queue.
+	if m := getMetrics(t, ts.URL); m.JobsRun != 0 {
+		t.Fatalf("validation let %d jobs run", m.JobsRun)
+	}
+}

@@ -63,8 +63,9 @@ var (
 	shardJob     Job = &jobDef{op: "verify/shard", validate: validateShard, run: runShard}
 	worstcaseJob Job = &jobDef{op: "worstcase", validate: validateWorstCase, run: runWorstCase}
 	simJob       Job = &jobDef{op: "sim", validate: validateSim, run: runSim}
+	failuresJob  Job = &jobDef{op: "failures", validate: validateFailures, run: runFailures}
 
-	jobs = []Job{verifyJob, shardJob, worstcaseJob, simJob}
+	jobs = []Job{verifyJob, shardJob, worstcaseJob, simJob, failuresJob}
 )
 
 // Service-wide size caps. A request may not build a topology bigger than
@@ -191,6 +192,9 @@ func validateVerify(q *api.Request) error {
 	if len(q.SymShard) > 0 {
 		return badRequest("sym_shard is only valid on /v1/verify/shard")
 	}
+	if q.Failures != nil {
+		return badRequest("failures block is only valid on /v1/failures")
+	}
 	switch q.Mode {
 	case "auto", "exact", "exhaustive", "exhaustive-parallel", "random":
 	default:
@@ -215,6 +219,9 @@ func validateVerify(q *api.Request) error {
 // exhaustive sweep — a coordinator fanning a big sweep raises
 // max_exhaustive explicitly on every shard request.
 func validateShard(q *api.Request) error {
+	if q.Failures != nil {
+		return badRequest("failures block is only valid on /v1/failures")
+	}
 	h := requestHosts(q)
 	if len(q.SymShard) > 0 {
 		// A symmetry-reduced shard: one contiguous range of top-level
@@ -274,6 +281,9 @@ func validateWorstCase(q *api.Request) error {
 	if q.SymReduce {
 		return badRequest("sym_reduce is only valid on verify endpoints")
 	}
+	if q.Failures != nil {
+		return badRequest("failures block is only valid on /v1/failures")
+	}
 	return nil
 }
 
@@ -286,6 +296,9 @@ func validateSim(q *api.Request) error {
 	}
 	if q.SymReduce {
 		return badRequest("sym_reduce is only valid on verify endpoints")
+	}
+	if q.Failures != nil {
+		return badRequest("failures block is only valid on /v1/failures")
 	}
 	switch q.Arbiter {
 	case "round-robin", "oldest-first":

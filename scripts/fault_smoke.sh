@@ -1,0 +1,65 @@
+#!/bin/sh
+# Fault-campaign smoke test over real binaries: nbverify -failures on a
+# pinned small fabric diffed against the committed golden curves (the
+# campaign is deterministic by construction), the same campaign run on a
+# worker pool checked for byte-identity, and the same campaign POSTed to
+# /v1/failures on a live nbserve — whose rendered response must match the
+# local run exactly. The in-process engine properties (parallel ==
+# sequential, no router emits a failed path) live in internal/campaign's
+# tests; this script proves the CLI flags, the renderer, and the HTTP
+# endpoint end to end.
+set -eu
+
+GO=${GO:-go}
+ADDR=127.0.0.1:18091
+ARGS="-n 2 -m 8 -r 4 -seed 1 -failures -fail-scenario tops -fail-max 3 -fail-samples 2 -fail-trials 10 -fail-sim"
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	if [ -n "${SMOKE_LOG_DIR:-}" ]; then
+		mkdir -p "$SMOKE_LOG_DIR"
+		cp "$tmp"/*.log "$tmp"/*.txt "$tmp"/*.err "$SMOKE_LOG_DIR"/ 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$tmp/nbverify" ./cmd/nbverify
+$GO build -o "$tmp/nbserve" ./cmd/nbserve
+
+# Local campaign against the committed golden.
+"$tmp/nbverify" $ARGS >"$tmp/local.txt" 2>"$tmp/local.err"
+if ! diff -u testdata/fault_smoke_golden.txt "$tmp/local.txt"; then
+	echo "fault-smoke: campaign output drifted from testdata/fault_smoke_golden.txt (regenerate it only if the change is intended)" >&2
+	exit 1
+fi
+
+# The worker pool is an optimization, not a different answer.
+"$tmp/nbverify" $ARGS -fail-workers 4 >"$tmp/parallel.txt" 2>"$tmp/parallel.err"
+if ! diff -u "$tmp/local.txt" "$tmp/parallel.txt"; then
+	echo "fault-smoke: parallel campaign differs from the sequential run" >&2
+	exit 1
+fi
+
+# Live /v1/failures: the server computes the same report, so the rendered
+# response must equal the local run exactly.
+"$tmp/nbserve" -addr "$ADDR" 2>"$tmp/serve.log" &
+pids="$pids $!"
+i=0
+until "$tmp/nbverify" $ARGS -remote "$ADDR" >"$tmp/remote.txt" 2>"$tmp/remote.err"; do
+	i=$((i + 1))
+	if [ $i -ge 100 ]; then
+		echo "fault-smoke: nbserve at $ADDR did not answer:" >&2
+		cat "$tmp/remote.err" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+if ! diff -u "$tmp/local.txt" "$tmp/remote.txt"; then
+	echo "fault-smoke: /v1/failures response differs from the local campaign" >&2
+	exit 1
+fi
+
+echo "fault-smoke: local, parallel, and /v1/failures campaign curves all match the golden"
